@@ -1,0 +1,15 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the :mod:`repro.experiments` harness, checks its headline shape, and
+prints the paper-style rendering (visible with ``pytest -s`` or in the
+captured output block).  Full experiments are measured with a single
+round — they are end-to-end reproductions, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with one round, one iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 11 (overheads, iGUARD vs Barracuda)."""
+
+from repro.experiments import figure11
+
+from benchmarks.conftest import run_once
+
+
+def test_figure11(benchmark):
+    panels = run_once(benchmark, figure11.run)
+    print()
+    print(figure11.render(panels))
+    # Shape: iGUARD stays single-digit-ish on average; Barracuda is an
+    # order of magnitude worse where it runs at all (paper: 4.2x vs 61x
+    # on panel b, 15x headline speedup).
+    assert panels["b"].iguard_mean() < 12.0
+    assert panels["b"].barracuda_mean() > 3 * panels["b"].iguard_mean()
+    assert panels["b"].speedup_over_barracuda() > 5.0
+    # Panel (a): Barracuda cannot run most racy suites.
+    unsupported = sum(
+        b.barracuda_status == "unsupported" for b in panels["a"].bars
+    )
+    assert unsupported >= 15

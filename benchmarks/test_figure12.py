@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 12 (contention-optimization ablation)."""
+
+from repro.experiments import figure12
+
+from benchmarks.conftest import run_once
+
+
+def test_figure12(benchmark):
+    rows = run_once(benchmark, figure12.run)
+    print()
+    print(figure12.render(rows))
+    # Paper shape: ~7x average improvement; conjugGMB collapses from an
+    # extreme baseline (706x -> 6x there).
+    assert figure12.mean_improvement(rows) > 3.0
+    conjug = next(r for r in rows if r.name == "conjugGMB")
+    assert conjug.baseline > 100 and conjug.optimized < 20

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 13 (runtime breakdown per suite)."""
+
+from repro.experiments import figure13
+
+from benchmarks.conftest import run_once
+
+
+def test_figure13(benchmark):
+    rows = run_once(benchmark, figure13.run)
+    print()
+    print(figure13.render(rows))
+    assert len(rows) >= 10  # every suite represented
+    for row in rows:
+        assert abs(sum(row.fractions.values()) - 1.0) < 1e-6
+    # Paper observation: NVBit is often a key contributor.
+    assert sum(r.fractions.get("nvbit", 0) > 0.2 for r in rows) >= len(rows) // 2

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (memory-footprint scaling)."""
+
+from repro.experiments import figure14
+
+from benchmarks.conftest import run_once
+
+
+def test_figure14(benchmark):
+    points = run_once(benchmark, figure14.run)
+    print()
+    print(figure14.render(points))
+    by_gb = {p.footprint_gb: p for p in points}
+    # Barracuda: pinned buffers fail outright past 8 GB.
+    assert by_gb[4].barracuda is not None
+    assert by_gb[8].barracuda is None and by_gb[16].barracuda is None
+    # iGUARD: graceful degradation — always runs, overhead grows once
+    # app + 4x metadata exceed the 24 GB device.
+    assert all(p.iguard is not None for p in points)
+    assert by_gb[16].iguard > by_gb[8].iguard > by_gb[4].iguard

@@ -1,0 +1,13 @@
+"""Benchmark: the section 1 motivation microbenchmark (scoped fence cost)."""
+
+from repro.experiments import motivation
+
+from benchmarks.conftest import run_once
+
+
+def test_scoped_fence_ratio(benchmark):
+    result = run_once(benchmark, motivation.run)
+    print()
+    print(motivation.render(result))
+    # Paper: block-scope threadfence is 21x faster than device scope.
+    assert 15.0 < result.ratio < 21.5

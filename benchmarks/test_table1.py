@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (detector feature matrix)."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark):
+    matrix = run_once(benchmark, table1.run)
+    print()
+    print(table1.render(matrix))
+    # Paper shape: only iGUARD supports all four feature rows.
+    assert all(matrix["iGUARD"][f] == "Yes" for f in table1.FEATURES)
+    assert matrix["Barracuda"]["Sc. atomic"] == "No"
+    assert matrix["ScoRD"]["ITS"] == "No"

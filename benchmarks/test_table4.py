@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 4 (races detected per application)."""
+
+from repro.experiments import table4
+
+from benchmarks.conftest import run_once
+
+
+def test_table4(benchmark):
+    rows = run_once(benchmark, table4.run)
+    print()
+    print(table4.render(rows))
+    # Paper headline: 57 unique races, no suite missing.
+    assert table4.total_races(rows) == 57
+    assert len(rows) == 22
+    # Barracuda's column: unsupported nearly everywhere, DNT on interac.
+    assert sum(r.barracuda == "Unsupported" for r in rows) >= 15
+    assert next(r for r in rows if r.name == "interac").barracuda.endswith("*")

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 5 (race-free applications, no false positives)."""
+
+from repro.experiments import table5
+
+from benchmarks.conftest import run_once
+
+
+def test_table5(benchmark):
+    rows = run_once(benchmark, table5.run)
+    print()
+    print(table5.render(rows))
+    assert len(rows) == 21
+    assert table5.false_positives(rows) == []

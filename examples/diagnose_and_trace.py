@@ -1,0 +1,61 @@
+"""Diagnosing a race end to end: detector + diagnosis + event trace.
+
+Workflow a developer would actually use:
+
+1. run the kernel with iGUARD attached — it reports a racy site;
+2. ask :mod:`repro.core.diagnose` what the race *means* and how to fix it;
+3. re-run with a :class:`~repro.instrument.Tracer` watchpoint on the racy
+   address to see exactly which accesses interleaved around it.
+
+Run with::
+
+    python examples/diagnose_and_trace.py
+"""
+
+from repro import Device, IGuard
+from repro.core.diagnose import report
+from repro.gpu import atomic_add, atomic_load, load, store
+from repro.instrument import Tracer
+
+
+def pipeline(ctx, results, ready, out):
+    """Block 0 produces a result and raises a ready flag — without the
+    device fence that would order the two.  Block 1 consumes."""
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield store(results, 0, 1234)
+        yield atomic_add(ready, 0, 1)  # BUG: no __threadfence() before this
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        while (yield atomic_load(ready, 0)) == 0:
+            pass
+        value = yield load(results, 0)
+        yield store(out, 0, value)
+
+
+def main():
+    # Step 1: detect.
+    device = Device()
+    detector = device.add_tool(IGuard())
+    results = device.alloc("results", 4, init=0)
+    ready = device.alloc("ready", 1, init=0)
+    out = device.alloc("out", 1, init=0)
+    device.launch(pipeline, grid_dim=2, block_dim=32,
+                  args=(results, ready, out), seed=5)
+
+    # Step 2: diagnose.
+    print(report(detector))
+
+    # Step 3: trace the racy address on a fresh run.
+    racy_address = detector.races.records()[0].address
+    device = Device()
+    tracer = device.add_tool(Tracer(address_filter=racy_address))
+    results = device.alloc("results", 4, init=0)
+    ready = device.alloc("ready", 1, init=0)
+    out = device.alloc("out", 1, init=0)
+    device.launch(pipeline, grid_dim=2, block_dim=32,
+                  args=(results, ready, out), seed=5)
+    print("event trace for the racy location:")
+    print(tracer.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The paper's Figure 1: a scoped-atomic race in work-stealing graph coloring.
+
+Each threadblock colors vertices from its own partition, advancing its
+``nextHead`` cursor with a *block-scope* atomic — fast, and correct as
+long as nobody else reads the cursor.  But when a block finishes early it
+*steals* from a victim's partition with a device-scope atomic, and the
+victim's block-scope updates are not guaranteed visible to it: two blocks
+can color the same vertex range.
+
+This example runs the buggy getWork() on a device with the weak-visibility
+memory model, so the race actually *manifests* (the stealer reads a stale
+head and duplicates work), and shows iGUARD classifying it as an
+insufficient-atomic-scope (AS) race.  With device scope everywhere the
+duplication disappears and the detector goes quiet.
+
+Run with::
+
+    python examples/graph_coloring_scoped_race.py
+"""
+
+from repro import Device, IGuard
+from repro.gpu import Scope, atomic_add, atomic_load, compute, load, store
+from repro.gpu.arch import TITAN_RTX
+
+NTHREADS = 8  # vertices claimed per getWork call
+
+
+def make_coloring_kernel(head_scope):
+    def coloring_kernel(ctx, next_head, partition_end, claimed, flags):
+        """One getWork round per block leader, then a steal by block 1."""
+        if ctx.tid_in_block != 0:
+            return
+            yield  # pragma: no cover - generator marker
+
+        if ctx.block_id == 0:
+            # The victim announces it is processing this partition, then
+            # advances its cursor — with block scope in the buggy version.
+            yield atomic_add(flags, 0, 1)
+            yield compute(4)
+            old = yield atomic_add(next_head, 0, NTHREADS, scope=head_scope)
+            yield store(claimed, 0, old)  # vertices [old, old+8) claimed
+        else:
+            # The stealing block waits until the victim is active, then
+            # grabs the next range from the victim's partition.
+            while (yield atomic_load(flags, 0)) == 0:
+                pass
+            yield compute(200)  # give the victim time to claim first
+            head = yield atomic_load(next_head, 0)  # <- the racy read (AS)
+            end = yield load(partition_end, 0)
+            if head < end:
+                old = yield atomic_add(next_head, 0, NTHREADS)
+                yield store(claimed, 1, old)
+
+    return coloring_kernel
+
+
+def run(head_scope, label):
+    device = Device(TITAN_RTX, weak_visibility=True)
+    detector = device.add_tool(IGuard())
+    next_head = device.alloc("nextHead", 1, init=0)
+    partition_end = device.alloc("partitionEnd", 1, init=64)
+    claimed = device.alloc("claimed", 2, init=-1)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        make_coloring_kernel(head_scope),
+        grid_dim=2, block_dim=32,
+        args=(next_head, partition_end, claimed, flags), seed=3,
+    )
+    victim, stealer = claimed.read(0), claimed.read(1)
+    print(f"--- {label} ---")
+    print(f"victim colored vertices starting at {victim}, "
+          f"stealer at {stealer}")
+    if victim == stealer and victim >= 0:
+        print("!! both blocks claimed the SAME vertex range: the stale")
+        print("   block-scope head made the stealer duplicate work")
+    print(detector.summary())
+    print()
+
+
+def main():
+    run(Scope.BLOCK, label="block-scope nextHead (Figure 1 bug)")
+    run(Scope.DEVICE, label="device-scope nextHead (fixed)")
+
+
+if __name__ == "__main__":
+    main()

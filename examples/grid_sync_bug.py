@@ -1,0 +1,65 @@
+"""The paper's headline bug: NVIDIA's grid synchronization (Figure 10).
+
+The CG library's grid-level barrier lets all threadblocks of a grid
+synchronize.  Its implementation makes every thread wait (the *execution*
+barrier holds) but only the per-block leader executes a ``__threadfence``
+— and a fence orders only the *calling thread's* writes.  Writes by the
+other threads are not guaranteed visible across the barrier: a device-wide
+data race in every application that trusts the sync.  iGUARD reported
+this; NVIDIA filed an internal bug, and the same defect was found (and
+acknowledged) in cuML and CUB.
+
+The example runs a multi-block pipeline through both the racy library
+sync and the corrected one, under iGUARD.
+
+Run with::
+
+    python examples/grid_sync_bug.py
+"""
+
+from repro import Device, IGuard
+from repro.cg import GridBarrier, this_grid
+from repro.gpu import load, store
+
+
+def make_pipeline(use_racy_sync):
+    def pipeline(ctx, barrier_state, stage1, stage2):
+        """Stage 1: every thread produces; grid sync; stage 2: consume a
+        value produced by a thread of another block."""
+        grid = this_grid(ctx, GridBarrier(barrier_state))
+        yield store(stage1, ctx.tid, ctx.tid + 1000)
+        if use_racy_sync:
+            yield from grid.sync_racy()  # Figure 10's implementation
+        else:
+            yield from grid.sync()  # every thread fences before arriving
+        partner = (ctx.tid + ctx.block_dim) % ctx.num_threads
+        value = yield load(stage1, partner)
+        yield store(stage2, ctx.tid, value)
+
+    return pipeline
+
+
+def run(use_racy_sync, label):
+    device = Device()
+    detector = device.add_tool(IGuard())
+    barrier_state = GridBarrier.alloc(device).state
+    stage1 = device.alloc("stage1", 64, init=0)
+    stage2 = device.alloc("stage2", 64, init=0)
+    device.launch(make_pipeline(use_racy_sync), grid_dim=2, block_dim=32,
+                  args=(barrier_state, stage1, stage2), seed=11)
+    print(f"--- {label} ---")
+    print(detector.summary())
+    for record in detector.races.records()[:2]:
+        print(" ", record.describe())
+    print()
+
+
+def main():
+    run(True, "NVIDIA library grid sync (leader-only fence, Figure 10)")
+    run(False, "corrected grid sync (per-thread fence)")
+    print("The race is device-scope (DR): the producer thread never")
+    print("executed a device fence, so check R4 fires at the consumer.")
+
+
+if __name__ == "__main__":
+    main()

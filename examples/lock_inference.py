@@ -1,0 +1,68 @@
+"""Lock inference and the lockset check (paper section 6.3 and Figure 9).
+
+CUDA has no lock instructions; the guidebook idiom is ``atomicCAS`` +
+fence to acquire and fence + ``atomicExch`` to release.  iGUARD infers
+those pairs as lock/unlock, and — uniquely — infers whether a kernel uses
+one lock per *warp* or one per *thread* by watching the warp's active
+mask during the CAS.  With per-thread locking, threads of one warp that
+update shared data under *different* locks race (Figure 9); the lockset
+check (R5) catches it even in schedules where the conflict never
+materializes.
+
+Run with::
+
+    python examples/lock_inference.py
+"""
+
+from collections import Counter
+
+from repro import Device, IGuard
+from repro.gpu import load, store
+from repro.workloads.patterns import lock_acquire, lock_release
+
+
+def make_locking_kernel(shared_lock):
+    def locking_kernel(ctx, locks, data, values):
+        """Figure 9: every thread of the warp enters a critical section
+        and accumulates into data[warpId]."""
+        lock_id = 0 if shared_lock else ctx.lane  # per-warp vs per-thread
+        yield from lock_acquire(locks, lock_id)
+        value = yield load(values, ctx.tid)
+        current = yield load(data, ctx.warp_id)
+        yield store(data, ctx.warp_id, current + value)
+        yield from lock_release(locks, lock_id)
+
+    return locking_kernel
+
+
+def run(shared_lock, label, seeds=range(8)):
+    outcome = Counter()
+    for seed in seeds:
+        device = Device()
+        detector = device.add_tool(IGuard())
+        locks = device.alloc("locks", 32, init=0)
+        data = device.alloc("data", 4, init=0)
+        values = device.alloc("values", 64, init=1)
+        device.launch(make_locking_kernel(shared_lock), grid_dim=2,
+                      block_dim=32, args=(locks, data, values), seed=seed)
+        kinds = tuple(sorted({str(t) for _, t in detector.races.sites()}))
+        outcome[kinds or ("race-free",)] += 1
+    print(f"--- {label} ---")
+    for kinds, count in outcome.most_common():
+        print(f"  {count}/8 schedules -> {', '.join(kinds)}")
+    print()
+
+
+def main():
+    print("Figure 9's locking kernel under 8 ITS schedules each:\n")
+    run(shared_lock=True,
+        label="one shared lock for the accumulator (correct)")
+    run(shared_lock=False,
+        label="per-thread locks 'protecting' one accumulator (racy)")
+    print("With distinct locks, the lockset intersection is empty: check")
+    print("R5 reports an improper-locking (IL) race — or R2 reports the")
+    print("ITS conflict directly when the schedule exposes it.")
+
+
+if __name__ == "__main__":
+    main()

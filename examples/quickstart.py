@@ -1,0 +1,58 @@
+"""Quickstart: find your first GPU race with iGUARD.
+
+Run with::
+
+    python examples/quickstart.py
+
+A kernel is a Python generator that yields instructions.  We write one
+with a classic bug — threads exchange values through global memory with
+no barrier — attach the iGUARD detector, and watch it pinpoint the racy
+source line.  Then we fix the kernel and show the detector goes quiet.
+"""
+
+from repro import Device, IGuard
+from repro.gpu import load, store, syncthreads
+
+
+def racy_exchange(ctx, data, out):
+    """Each thread publishes a value, then reads its neighbour's...
+    without waiting for the neighbour to have published it."""
+    yield store(data, ctx.tid, ctx.tid * 10)
+    # BUG: missing __syncthreads() here.
+    neighbour = (ctx.tid + 1) % ctx.num_threads
+    value = yield load(data, neighbour)
+    yield store(out, ctx.tid, value)
+
+
+def fixed_exchange(ctx, data, out):
+    """The same kernel with the barrier in place."""
+    yield store(data, ctx.tid, ctx.tid * 10)
+    yield syncthreads()
+    neighbour = (ctx.tid + 1) % ctx.block_dim + ctx.block_id * ctx.block_dim
+    value = yield load(data, neighbour)
+    yield store(out, ctx.tid, value)
+
+
+def run(kernel, label):
+    device = Device()
+    detector = device.add_tool(IGuard())
+    data = device.alloc("data", 64, init=0)
+    out = device.alloc("out", 64, init=0)
+    run_info = device.launch(kernel, grid_dim=2, block_dim=32,
+                             args=(data, out), seed=7)
+    print(f"--- {label} ---")
+    print(f"executed {run_info.instructions} instructions, "
+          f"detection overhead {run_info.overhead:.1f}x")
+    print(detector.summary())
+    for record in detector.races.records()[:3]:
+        print(" ", record.describe())
+    print()
+
+
+def main():
+    run(racy_exchange, "racy kernel (missing __syncthreads)")
+    run(fixed_exchange, "fixed kernel")
+
+
+if __name__ == "__main__":
+    main()

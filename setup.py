@@ -1,0 +1,9 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+Kept so that environments without the ``wheel`` package (where pip's
+PEP 517 editable path fails with "invalid command 'bdist_wheel'") can
+still do ``python setup.py develop``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""iGUARD: In-GPU Advanced Race Detection — a Python reproduction.
+
+This package reproduces the system from *iGUARD: In-GPU Advanced Race
+Detection* (Kamath & Basu, SOSP 2021) over a simulated GPU execution
+model.  The central pieces:
+
+- :mod:`repro.gpu` — the GPU substrate: a CUDA-like kernel DSL (Python
+  generators yielding instructions), lockstep and ITS warp schedulers,
+  scoped atomics/fences, barriers, and a cycle-cost model;
+- :mod:`repro.core` — the iGUARD detector: Figure 4's packed metadata,
+  Table 2's two-tier checks, lock-protocol inference, UVM-backed metadata,
+  and the contention optimizations;
+- :mod:`repro.baselines` — Barracuda, CURD, and ScoRD-mode comparators;
+- :mod:`repro.cg` — Cooperative Groups built from the primitives;
+- :mod:`repro.workloads` — the 43 Table 4/5 applications;
+- :mod:`repro.experiments` — regenerate every table and figure.
+
+Quick start::
+
+    from repro import Device, IGuard
+    from repro.gpu import load, store, syncthreads
+
+    device = Device()
+    detector = device.add_tool(IGuard())
+    data = device.alloc("data", 64, init=0)
+
+    def kernel(ctx, data):
+        yield store(data, ctx.tid, ctx.tid)
+        v = yield load(data, (ctx.tid + 1) % ctx.num_threads)  # racy!
+        yield store(data, ctx.tid, v)
+
+    device.launch(kernel, grid_dim=2, block_dim=32, args=(data,))
+    print(detector.summary())
+"""
+
+from repro.baselines import Barracuda, CURD, ScoRD
+from repro.core import IGuard, IGuardConfig, RaceRecord, RaceType
+from repro.gpu import Device, GPUConfig, TITAN_RTX
+from repro.gpu.device import KernelRun
+from repro.gpu.scheduler import SchedulerKind
+from repro.workloads import REGISTRY, get_workload, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Barracuda",
+    "CURD",
+    "ScoRD",
+    "IGuard",
+    "IGuardConfig",
+    "RaceRecord",
+    "RaceType",
+    "Device",
+    "GPUConfig",
+    "KernelRun",
+    "TITAN_RTX",
+    "SchedulerKind",
+    "REGISTRY",
+    "get_workload",
+    "run_workload",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baseline race detectors the paper compares against.
+
+- :mod:`repro.baselines.barracuda` — Barracuda (PLDI'17): instruments GPU
+  kernels but ships the event stream to the CPU, where a serialized
+  happens-before (vector-clock) pass detects races.  No scoped atomics, no
+  ITS/syncwarp support, cannot ingest large multi-file binaries, reserves
+  half of device memory for its buffers.
+- :mod:`repro.baselines.curd` — CURD (PLDI'18): Barracuda plus a cheap
+  compiler-directed fast path for kernels that use *only* threadblock
+  barriers; falls back to Barracuda for everything else.
+- ScoRD (ISCA'20) is iGUARD's own detection logic minus ITS and lockset in
+  dedicated hardware; it is reproduced as a configuration of the detector
+  (:meth:`repro.core.config.IGuardConfig.scord_mode`) with a hardware-like
+  cost model in :mod:`repro.baselines.scord`.
+"""
+
+from repro.baselines.barracuda import Barracuda
+from repro.baselines.curd import CURD
+from repro.baselines.scord import ScoRD
+
+__all__ = ["Barracuda", "CURD", "ScoRD"]

@@ -1,0 +1,322 @@
+"""Barracuda: the CPU-side happens-before baseline (PLDI'17).
+
+Barracuda instruments GPU binaries (at PTX level) to *log* memory and
+synchronization events, serializes the log, and ships it to the CPU where
+a happens-before detector processes it one event at a time.  That design
+is exactly what iGUARD's evaluation contrasts against:
+
+- all detection work is **serialized** on the CPU — no GPU parallelism —
+  which is where the 10-1000x overheads come from;
+- **scoped atomics are unsupported**: workloads using ``atomic*_block``
+  abort (the paper could not run ScoR or the CG suite under Barracuda);
+- **ITS is unsupported**: Barracuda assumes pre-Volta lockstep warps, so
+  same-warp accesses are considered ordered and missing-``syncwarp``
+  races are invisible (``syncwarp`` itself is ignored);
+- **half of device memory is reserved** for its buffers, so applications
+  with footprints beyond 50% of capacity fail to start (Figure 14);
+- large event streams (e.g. Kilo-TM's ``interac`` with its spin loops)
+  exhaust the processing budget: the run "does not terminate".
+
+The happens-before engine is FastTrack-style: per-thread vector clocks,
+per-address write epoch + read epoch/VC, release/acquire edges through
+(fence, atomic) pairs, and barrier joins at each ``syncthreads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.vectorclock import AccessHistory, VectorClock
+from repro.core.report import RaceLog, RaceRecord, RaceType
+from repro.errors import OutOfMemoryError, TimeoutError_, UnsupportedFeatureError
+from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
+from repro.gpu.instructions import Scope
+from repro.instrument.nvbit import LaunchInfo, Tool
+from repro.instrument.timing import Category
+
+
+@dataclass(frozen=True)
+class BarracudaCosts:
+    """Cycle constants for Barracuda's runtime (calibrated for shape)."""
+
+    #: Recompilation / runtime linking, charged per launch: a small fixed
+    #: part plus a duration-proportional part (same scaling rationale as
+    #: the iGUARD detector's host costs).
+    recompile_fixed: float = 30.0
+    recompile_fraction: float = 0.5
+    #: Injected logging code, runs in parallel on the GPU.
+    instrument_per_event: float = 5.0
+    #: Serializing one event out of the GPU into the shared buffer.
+    ship_per_event: float = 0.5
+    #: CPU-side happens-before processing of one event (serial!).  This
+    #: single constant is the heart of the comparison: all of Barracuda's
+    #: race detection funnels through it with no parallelism at all.
+    cpu_per_event: float = 24.0
+
+
+@dataclass
+class _ThreadState:
+    """Per-thread vector clock plus pending release snapshots."""
+
+    vc: VectorClock = field(default_factory=VectorClock)
+    release_dev: Optional[VectorClock] = None
+    release_blk: Optional[VectorClock] = None
+
+
+@dataclass
+class _LocationSync:
+    """Release clocks carried by an atomic location."""
+
+    dev: VectorClock = field(default_factory=VectorClock)
+    blk: Dict[int, VectorClock] = field(default_factory=dict)
+
+
+class Barracuda(Tool):
+    """The Barracuda baseline as an instrumentation tool."""
+
+    name = "Barracuda"
+    #: Fraction of device memory pinned for Barracuda's buffers.
+    MEMORY_RESERVATION = 0.5
+    #: Extra device memory Barracuda needs per byte of application
+    #: footprint (shadow/log space), on top of the fixed reservation.
+    SHADOW_FACTOR = 0.6
+
+    def __init__(
+        self,
+        costs: BarracudaCosts = BarracudaCosts(),
+        event_budget: int = 12_000,
+    ):
+        self.costs = costs
+        self.event_budget = event_budget
+        self.device = None
+        self.races = RaceLog(capacity=16_384)
+        self.events_processed = 0
+        self.gave_up = False
+        self._threads: Dict[int, _ThreadState] = {}
+        self._histories: Dict[int, AccessHistory] = {}
+        self._locations: Dict[int, _LocationSync] = {}
+        self._launch: Optional[LaunchInfo] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, device) -> None:
+        self.device = device
+
+    def on_alloc(self, allocation) -> None:
+        """Enforce the pinned-buffer reservation at allocation time.
+
+        The application's footprint plus Barracuda's proportional shadow
+        space must fit in what the fixed 50% reservation leaves — this is
+        the failure Figure 14 shows past 8 GB on a 24 GB GPU.
+        """
+        if self.device is None:
+            return
+        budget = self.device.memory.capacity_bytes * (1 - self.MEMORY_RESERVATION)
+        needed = self.device.memory.bytes_allocated * (1 + self.SHADOW_FACTOR)
+        if needed > budget:
+            raise OutOfMemoryError(
+                f"Barracuda reserves {int(self.MEMORY_RESERVATION * 100)}% of "
+                f"device memory for buffers; allocation of "
+                f"{allocation.name!r} plus shadow space needs "
+                f"{int(needed)} bytes but only {int(budget)} remain"
+            )
+
+    def on_launch_begin(self, launch: LaunchInfo) -> None:
+        self._launch = launch
+        self._threads = {}
+        self._histories = {}
+        self._locations = {}
+        self.events_processed = 0
+        self.gave_up = False
+        launch.timing.charge(
+            Category.NVBIT, self.costs.recompile_fixed, serial=True
+        )
+
+    def on_launch_end(self, launch: LaunchInfo) -> None:
+        self.races.flush()
+        launch.timing.charge(
+            Category.NVBIT,
+            self.costs.recompile_fraction * launch.timing.native_time,
+            serial=True,
+        )
+
+    def on_timeout(self, launch: LaunchInfo) -> None:
+        self.races.flush()
+
+    # ------------------------------------------------------------------
+    # Event costing and budget
+    # ------------------------------------------------------------------
+
+    def _charge_event(self, launch: LaunchInfo) -> None:
+        launch.timing.charge(
+            Category.INSTRUMENTATION, self.costs.instrument_per_event
+        )
+        launch.timing.charge(
+            Category.DETECTION,
+            self.costs.ship_per_event + self.costs.cpu_per_event,
+            serial=True,
+        )
+        self.events_processed += 1
+        if self.events_processed > self.event_budget:
+            self.gave_up = True
+            raise TimeoutError_(
+                f"Barracuda did not terminate: CPU-side detection exceeded "
+                f"{self.event_budget} events on {launch.kernel_name!r}"
+            )
+
+    def _thread(self, tid: int) -> _ThreadState:
+        state = self._threads.get(tid)
+        if state is None:
+            state = _ThreadState()
+            state.vc.bump(tid)
+            self._threads[tid] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Synchronization events
+    # ------------------------------------------------------------------
+
+    def on_sync(self, event: SyncEvent, launch: LaunchInfo) -> None:
+        self._charge_event(launch)
+        if event.kind is SyncKind.SYNCTHREADS:
+            self._barrier_join(event.where.block_id, launch)
+        elif event.kind is SyncKind.SYNCWARP:
+            # No ITS support: warp barriers are not modeled (lockstep is
+            # assumed for whole warps instead).
+            pass
+        elif event.kind is SyncKind.FENCE:
+            # CUDA fence semantics are per-thread: "the effect of a
+            # threadfence is limited to writes of the calling thread only"
+            # (section 7.1) — a fence does NOT transitively publish writes
+            # the thread merely observed through a barrier.  The release
+            # snapshot therefore carries only the calling thread's own
+            # epoch, which is how Barracuda catches the leader-only-fence
+            # grid-barrier bug.
+            tid = event.where.global_tid
+            state = self._thread(tid)
+            snapshot = VectorClock({tid: state.vc.get(tid)})
+            if event.scope.effective is Scope.DEVICE:
+                state.release_dev = snapshot
+                state.release_blk = snapshot
+            else:
+                state.release_blk = snapshot
+            state.vc.bump(tid)
+
+    def _barrier_join(self, block_id: int, launch: LaunchInfo) -> None:
+        """syncthreads: join the clocks of every thread in the block."""
+        base = block_id * launch.block_dim
+        tids = range(base, base + launch.block_dim)
+        joined = VectorClock()
+        for tid in tids:
+            joined.join(self._thread(tid).vc)
+        for tid in tids:
+            state = self._thread(tid)
+            state.vc = joined.copy()
+            state.vc.bump(tid)
+
+    # ------------------------------------------------------------------
+    # Memory events
+    # ------------------------------------------------------------------
+
+    def on_memory(self, event: MemoryEvent, launch: LaunchInfo) -> None:
+        self._charge_event(launch)
+        where = event.where
+        tid = where.global_tid
+        state = self._thread(tid)
+
+        if event.kind is AccessKind.ATOMIC:
+            if event.scope.effective is Scope.BLOCK:
+                raise UnsupportedFeatureError(
+                    "Barracuda does not support scoped atomic operations "
+                    f"(block-scope atomic at {event.ip})"
+                )
+            self._atomic_sync(event, state)
+            return
+
+        history = self._histories.get(event.address)
+        if history is None:
+            history = AccessHistory()
+            self._histories[event.address] = history
+
+        clock = state.vc.get(tid)
+        if event.kind is AccessKind.LOAD:
+            self._check_read(event, state, history, launch)
+            history.record_read(tid, clock, where.warp_id, state.vc)
+        else:
+            self._check_write(event, state, history, launch)
+            history.record_write(tid, clock, where.warp_id)
+
+    def _atomic_sync(self, event: MemoryEvent, state: _ThreadState) -> None:
+        """Atomics are synchronization: release-acquire through the location."""
+        where = event.where
+        location = self._locations.get(event.address)
+        if location is None:
+            location = _LocationSync()
+            self._locations[event.address] = location
+        # Acquire: the atomic reads the location, picking up releases.
+        state.vc.join(location.dev)
+        blk = location.blk.get(where.block_id)
+        if blk is not None:
+            state.vc.join(blk)
+        # Release: a fence executed earlier publishes writes through this
+        # atomic.  Without a prior fence nothing is released — which is
+        # how Barracuda catches missing-threadfence races.
+        if state.release_dev is not None:
+            location.dev.join(state.release_dev)
+        if state.release_blk is not None:
+            location.blk.setdefault(where.block_id, VectorClock()).join(
+                state.release_blk
+            )
+
+    def _check_read(self, event, state, history: AccessHistory, launch) -> None:
+        w = history.write_epoch
+        if w is None:
+            return
+        if history.write_warp == event.where.warp_id:
+            return  # lockstep assumption: same-warp accesses are ordered
+        if not state.vc.dominates_epoch(w):
+            self._report(event, launch)
+
+    def _check_write(self, event, state, history: AccessHistory, launch) -> None:
+        warp = event.where.warp_id
+        w = history.write_epoch
+        if (
+            w is not None
+            and history.write_warp != warp
+            and not state.vc.dominates_epoch(w)
+        ):
+            self._report(event, launch)
+            return
+        for _tid, _clock, read_warp in history.concurrent_readers(state.vc):
+            if read_warp != warp:
+                self._report(event, launch)
+                return
+
+    def _report(self, event: MemoryEvent, launch: LaunchInfo) -> None:
+        where = event.where
+        # Barracuda does not classify races by GPU-specific cause; records
+        # are tagged with the generic device-level race type.
+        record = RaceRecord(
+            race_type=RaceType.INTER_BLOCK,
+            kernel=launch.kernel_name,
+            ip=event.ip,
+            access=event.kind.value,
+            address=event.address,
+            location=launch.device.memory.describe(event.address),
+            warp_id=where.warp_id,
+            lane=where.lane,
+            block_id=where.block_id,
+            prev_warp_id=-1,
+            prev_lane=-1,
+        )
+        self.races.report(record)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def race_count(self) -> int:
+        """Unique racy sites found by the CPU-side pass."""
+        return self.races.num_sites

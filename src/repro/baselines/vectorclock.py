@@ -1,0 +1,119 @@
+"""Sparse vector clocks and FastTrack-style epochs.
+
+Barracuda reduces GPU race detection to CPU race detection: the serialized
+event log is processed with classic happens-before machinery.  We implement
+the FastTrack optimization (Flanagan & Freund, PLDI'09, cited by the paper
+in its last-accessor discussion): most accesses are compared against an
+*epoch* — a single (thread, clock) pair — and full vector-clock reads are
+only needed for read-shared locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Epoch = Tuple[int, int]  # (thread id, clock)
+
+
+class VectorClock:
+    """A sparse vector clock: missing components are zero."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None):
+        self.clocks = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        return self.clocks.get(tid, 0)
+
+    def bump(self, tid: int) -> None:
+        """Increment one component (a thread's own clock tick)."""
+        self.clocks[tid] = self.clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place element-wise maximum."""
+        for tid, clock in other.clocks.items():
+            if clock > self.clocks.get(tid, 0):
+                self.clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def dominates_epoch(self, epoch: Epoch) -> bool:
+        """Whether the epoch happens-before this clock (e ⊑ VC)."""
+        tid, clock = epoch
+        return clock <= self.clocks.get(tid, 0)
+
+    def epoch_of(self, tid: int) -> Epoch:
+        """This thread's current epoch."""
+        return (tid, self.clocks.get(tid, 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC({self.clocks})"
+
+
+class AccessHistory:
+    """FastTrack per-address state: a write epoch plus read epoch-or-VC."""
+
+    __slots__ = ("write_epoch", "write_warp", "read_epoch", "read_warp", "read_vc")
+
+    def __init__(self):
+        self.write_epoch: Optional[Epoch] = None
+        self.write_warp: int = -1
+        self.read_epoch: Optional[Epoch] = None
+        self.read_warp: int = -1
+        #: Read-shared mode: map tid -> (clock, warp id).
+        self.read_vc: Optional[Dict[int, Tuple[int, int]]] = None
+
+    def record_read(self, tid: int, clock: int, warp: int, thread_vc: VectorClock) -> None:
+        """Record a read, promoting to read-shared when needed."""
+        if self.read_vc is not None:
+            self._prune_reads(thread_vc)
+            self.read_vc[tid] = (clock, warp)
+            return
+        if self.read_epoch is None or self.read_epoch[0] == tid:
+            self.read_epoch = (tid, clock)
+            self.read_warp = warp
+            return
+        if thread_vc.dominates_epoch(self.read_epoch):
+            # The previous read happens-before this one: keep one epoch.
+            self.read_epoch = (tid, clock)
+            self.read_warp = warp
+            return
+        # Concurrent readers: switch to read-shared (a small VC).
+        self.read_vc = {
+            self.read_epoch[0]: (self.read_epoch[1], self.read_warp),
+            tid: (clock, warp),
+        }
+        self.read_epoch = None
+
+    def _prune_reads(self, thread_vc: VectorClock) -> None:
+        """Drop read entries already ordered before the current thread.
+
+        Keeps the read-shared set small for flag locations read by
+        thousands of spinning threads.
+        """
+        if self.read_vc is not None and len(self.read_vc) > 64:
+            self.read_vc = {
+                tid: (clock, warp)
+                for tid, (clock, warp) in self.read_vc.items()
+                if clock > thread_vc.get(tid)
+            }
+
+    def record_write(self, tid: int, clock: int, warp: int) -> None:
+        """Record a write; reads-before are subsumed."""
+        self.write_epoch = (tid, clock)
+        self.write_warp = warp
+        self.read_epoch = None
+        self.read_warp = -1
+        self.read_vc = None
+
+    def concurrent_readers(self, thread_vc: VectorClock):
+        """Readers not ordered before the given clock: (tid, clock, warp)."""
+        if self.read_vc is not None:
+            for tid, (clock, warp) in self.read_vc.items():
+                if clock > thread_vc.get(tid):
+                    yield (tid, clock, warp)
+        elif self.read_epoch is not None:
+            if not thread_vc.dominates_epoch(self.read_epoch):
+                yield (self.read_epoch[0], self.read_epoch[1], self.read_warp)

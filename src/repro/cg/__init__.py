@@ -1,0 +1,46 @@
+"""Cooperative Groups: the software synchronization layer (section 2.1).
+
+NVIDIA's Cooperative Groups (CG) is *not* hardware: it is a library built
+from atomics, threadfences, and barriers that lets programmers synchronize
+an (almost) arbitrary set of threads — a subset of a warp, a threadblock,
+or a whole grid.  Because it is built from the primitives iGUARD already
+instruments, iGUARD detects CG misuse with no CG-specific checks.
+
+This package mirrors the CUDA CG API over the kernel DSL.  Group ``sync``
+operations are generators, used from kernels with ``yield from``::
+
+    block = cg.this_thread_block(ctx)
+    grid = cg.this_grid(ctx, barrier)
+    ...
+    yield from block.sync()
+    yield from grid.sync()
+
+Two grid-synchronization implementations are provided:
+
+- :class:`GridBarrier` + ``grid.sync()`` — the *correct* one (every thread
+  fences before arriving);
+- ``grid.sync_racy()`` — the buggy pattern of the paper's Figure 10, where
+  only the block leader fences, so non-leader writes are not ordered
+  across the barrier.  iGUARD reported exactly this bug in NVIDIA's CG
+  library (acknowledged; tracked internally by NVIDIA).
+"""
+
+from repro.cg.groups import (
+    CoalescedGroup,
+    GridBarrier,
+    GridGroup,
+    ThreadBlock,
+    this_grid,
+    this_thread_block,
+    tiled_partition,
+)
+
+__all__ = [
+    "CoalescedGroup",
+    "GridBarrier",
+    "GridGroup",
+    "ThreadBlock",
+    "this_grid",
+    "this_thread_block",
+    "tiled_partition",
+]

@@ -1,0 +1,159 @@
+"""Cooperative-group objects and their synchronization generators.
+
+Every ``sync`` method is a generator yielding DSL instructions, so kernels
+compose them with ``yield from``.  The grid barrier follows the counter
+pattern of the paper's Figure 10: a per-block leader fences, atomically
+bumps an arrival counter, and spins until all blocks arrive, bracketed by
+threadblock barriers.  The *correct* variant adds the device fence that
+every (non-leader) thread needs so its writes are ordered across the
+barrier — the fence whose absence iGUARD flagged in NVIDIA's own library.
+
+The barrier is generation-counted, so it can be reused any number of times
+(each thread tracks its own generation, which stays consistent because all
+threads pass through every sync).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.instructions import (
+    Scope,
+    atomic_add,
+    atomic_load,
+    fence_device,
+    syncthreads,
+    syncwarp,
+)
+from repro.gpu.kernel import ThreadCtx
+from repro.gpu.memory import GlobalArray
+
+
+class ThreadBlock:
+    """``cg::thread_block``: all threads of the calling threadblock."""
+
+    def __init__(self, ctx: ThreadCtx):
+        self.ctx = ctx
+
+    @property
+    def size(self) -> int:
+        return self.ctx.block_dim
+
+    def thread_rank(self) -> int:
+        """The calling thread's index within the block."""
+        return self.ctx.tid_in_block
+
+    def sync(self):
+        """``cg::sync(block)`` — a threadblock barrier."""
+        yield syncthreads()
+
+
+class CoalescedGroup:
+    """``cg::coalesced_threads`` / a warp-sized tile of a block.
+
+    ``sync`` maps to a warp barrier, which is how CUDA implements tile
+    synchronization for tiles within one warp.
+    """
+
+    def __init__(self, ctx: ThreadCtx, size: Optional[int] = None):
+        self.ctx = ctx
+        self.size = size if size is not None else ctx.warp_size
+
+    def thread_rank(self) -> int:
+        return self.ctx.lane % self.size
+
+    def sync(self):
+        """``tile.sync()`` — a warp-level barrier."""
+        yield syncwarp()
+
+
+def this_thread_block(ctx: ThreadCtx) -> ThreadBlock:
+    """``cg::this_thread_block()``."""
+    return ThreadBlock(ctx)
+
+
+def tiled_partition(block: ThreadBlock, size: int) -> CoalescedGroup:
+    """``cg::tiled_partition<size>(block)`` for warp-sized tiles."""
+    return CoalescedGroup(block.ctx, size)
+
+
+class GridBarrier:
+    """Host-side state for grid-wide synchronization.
+
+    The CUDA runtime allocates this behind ``cudaLaunchCooperativeKernel``;
+    here the host allocates it explicitly and passes it to the kernel.
+    Layout: ``state[0]`` = arrival counter, ``state[1]`` = generation.
+    """
+
+    NUM_WORDS = 2
+
+    def __init__(self, state: GlobalArray):
+        self.state = state
+
+    @classmethod
+    def alloc(cls, device, name: str = "grid_barrier") -> "GridBarrier":
+        """Allocate barrier state on a device."""
+        return cls(device.alloc(name, cls.NUM_WORDS, init=0))
+
+
+class GridGroup:
+    """``cg::grid_group``: every thread of the grid."""
+
+    def __init__(self, ctx: ThreadCtx, barrier: GridBarrier):
+        self.ctx = ctx
+        self.barrier = barrier
+        self._generation = 0
+
+    @property
+    def size(self) -> int:
+        return self.ctx.num_threads
+
+    def thread_rank(self) -> int:
+        """The calling thread's index within the grid."""
+        return self.ctx.tid
+
+    # ------------------------------------------------------------------
+
+    def sync(self):
+        """``grid.sync()`` — correct grid-wide barrier.
+
+        Every thread executes a device-scope fence before arriving, so all
+        pre-barrier writes are ordered with all post-barrier reads.
+        """
+        yield from self._sync(all_threads_fence=True)
+
+    def sync_racy(self):
+        """The buggy grid sync of Figure 10.
+
+        Only the block leader fences (to publish the arrival counter), so
+        writes by non-leader threads are *not* guaranteed visible after
+        the barrier: a device-scope (DR) race on application data.
+        """
+        yield from self._sync(all_threads_fence=False)
+
+    def _sync(self, all_threads_fence: bool):
+        ctx = self.ctx
+        state = self.barrier.state
+        self._generation += 1
+        target = self._generation
+        if all_threads_fence:
+            # The fence Figure 10 comments out: every thread publishes its
+            # writes before the barrier.
+            yield fence_device()
+        yield syncthreads()
+        if ctx.tid_in_block == 0:
+            yield fence_device()
+            arrived = (yield atomic_add(state, 0, 1)) + 1
+            if arrived == ctx.grid_dim * target:
+                # Last block to arrive opens the next generation.
+                yield atomic_add(state, 1, 1)
+            else:
+                while (yield atomic_load(state, 1)) < target:
+                    pass
+            yield fence_device()
+        yield syncthreads()
+
+
+def this_grid(ctx: ThreadCtx, barrier: GridBarrier) -> GridGroup:
+    """``cg::this_grid()`` (barrier state passed in by the launcher)."""
+    return GridGroup(ctx, barrier)

@@ -1,0 +1,15 @@
+"""Shared low-level utilities: bitfields, hashing, Bloom filters, RNG."""
+
+from repro.common.bitfield import BitField, BitStruct
+from repro.common.bloom import BloomFilter16
+from repro.common.hashing import address_hash18, mix64
+from repro.common.rng import SplitMix64
+
+__all__ = [
+    "BitField",
+    "BitStruct",
+    "BloomFilter16",
+    "address_hash18",
+    "mix64",
+    "SplitMix64",
+]

@@ -1,0 +1,105 @@
+"""Packed bit-field structures.
+
+iGUARD's memory metadata is a 16-byte record whose fields are packed into
+two 64-bit words (paper, Figure 4).  To keep the reproduction bit-exact we
+pack and unpack metadata through the same field layout instead of storing a
+loose Python object.  :class:`BitStruct` describes a 64-bit word as an
+ordered list of named :class:`BitField` ranges and converts between integers
+and dictionaries of field values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BitField:
+    """A contiguous bit range ``[lo, hi]`` (inclusive) within a 64-bit word."""
+
+    name: str
+    hi: int
+    lo: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo <= self.hi <= 63):
+            raise ConfigError(f"bad bit range for {self.name}: [{self.hi}:{self.lo}]")
+
+    @property
+    def width(self) -> int:
+        """Number of bits occupied by the field."""
+        return self.hi - self.lo + 1
+
+    @property
+    def mask(self) -> int:
+        """Mask of the field's bits, already shifted into word position."""
+        return ((1 << self.width) - 1) << self.lo
+
+    @property
+    def max_value(self) -> int:
+        """Largest value representable in the field."""
+        return (1 << self.width) - 1
+
+    def extract(self, word: int) -> int:
+        """Read this field out of ``word``."""
+        return (word >> self.lo) & ((1 << self.width) - 1)
+
+    def insert(self, word: int, value: int) -> int:
+        """Return ``word`` with this field replaced by ``value``.
+
+        The value is truncated to the field width, which is exactly the
+        wrap-around behaviour of iGUARD's narrow hardware-style counters
+        (the paper discusses 6-8 bit counters wrapping in section 6.7).
+        """
+        value &= (1 << self.width) - 1
+        return (word & ~self.mask) | (value << self.lo)
+
+
+class BitStruct:
+    """An ordered set of non-overlapping :class:`BitField` ranges in a word."""
+
+    def __init__(self, name: str, fields: Iterable[BitField]):
+        self.name = name
+        self.fields: Tuple[BitField, ...] = tuple(fields)
+        self._by_name: Dict[str, BitField] = {}
+        used = 0
+        for field in self.fields:
+            if field.name in self._by_name:
+                raise ConfigError(f"duplicate field {field.name} in {name}")
+            if used & field.mask:
+                raise ConfigError(f"overlapping field {field.name} in {name}")
+            used |= field.mask
+            self._by_name[field.name] = field
+
+    def field(self, name: str) -> BitField:
+        """Look up a field by name."""
+        return self._by_name[name]
+
+    def pack(self, **values: int) -> int:
+        """Pack keyword field values into a 64-bit integer word."""
+        word = 0
+        for name, value in values.items():
+            word = self._by_name[name].insert(word, value)
+        return word
+
+    def unpack(self, word: int) -> Dict[str, int]:
+        """Unpack a word into a ``{field name: value}`` dictionary."""
+        return {f.name: f.extract(word) for f in self.fields}
+
+    def get(self, word: int, name: str) -> int:
+        """Extract a single named field from ``word``."""
+        return self._by_name[name].extract(word)
+
+    def set(self, word: int, name: str, value: int) -> int:
+        """Return ``word`` with field ``name`` set to ``value`` (truncated)."""
+        return self._by_name[name].insert(word, value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(f"{f.name}[{f.hi}:{f.lo}]" for f in self.fields)
+        return f"BitStruct({self.name}: {spans})"

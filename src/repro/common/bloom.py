@@ -1,0 +1,74 @@
+"""A 16-bit, 2-way Bloom filter for lock summaries.
+
+The memory metadata's ``Locks`` field (paper, Figure 4 and section 6.2) is a
+16-bit, 2-way Bloom filter of the lock addresses held by the last writer of
+a memory location.  Race condition R5 (Table 2) declares a missing-lock race
+when the bitwise intersection of the stored summary with the current
+accessor's summary is empty while at least one of them is non-empty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.hashing import bloom_hashes16
+
+
+class BloomFilter16:
+    """A fixed-size 16-bit Bloom filter with two hash functions.
+
+    The filter is intentionally tiny: it must fit in the ``Locks`` bit-field
+    of the packed metadata word.  Because of that it can produce false
+    *intersections* (two disjoint lock sets appearing to share a lock) but
+    never false *disjointness* — a shared lock always shares bits — which is
+    the property race check R5 relies on (no false positives from R5).
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int = 0):
+        self.bits = bits & 0xFFFF
+
+    @classmethod
+    def of(cls, addresses: Iterable[int]) -> "BloomFilter16":
+        """Build a filter summarizing a collection of lock addresses."""
+        bloom = cls()
+        for address in addresses:
+            bloom.add(address)
+        return bloom
+
+    def add(self, address: int) -> None:
+        """Insert a lock address into the summary."""
+        b1, b2 = bloom_hashes16(address)
+        self.bits |= (1 << b1) | (1 << b2)
+        self.bits &= 0xFFFF
+
+    def might_contain(self, address: int) -> bool:
+        """Whether the summary may contain ``address`` (no false negatives)."""
+        b1, b2 = bloom_hashes16(address)
+        return bool(self.bits & (1 << b1)) and bool(self.bits & (1 << b2))
+
+    def intersects(self, other: "BloomFilter16") -> bool:
+        """Whether the two summaries share any bit."""
+        return bool(self.bits & other.bits)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no lock has ever been inserted."""
+        return self.bits == 0
+
+    def __int__(self) -> int:
+        return self.bits
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BloomFilter16):
+            return self.bits == other.bits
+        if isinstance(other, int):
+            return self.bits == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BloomFilter16(0b{self.bits:016b})"

@@ -1,0 +1,47 @@
+"""Deterministic hash helpers.
+
+iGUARD stores an 18-bit hash of a lock variable's address in each lock-table
+entry (paper, Figure 7) and a 16-bit, 2-way Bloom-filter summary of held
+locks in the memory metadata (section 6.2).  Both need cheap, deterministic
+integer hashes; we use the finalizer of SplitMix64, a well-known 64-bit
+mixing function with good avalanche behaviour.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """SplitMix64 finalizer: a bijective 64-bit mixing function."""
+    x &= _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return x ^ (x >> 31)
+
+
+def address_hash18(address: int) -> int:
+    """The 18-bit lock-table address hash of Figure 7.
+
+    Hardware would select address bits rather than run a mixing function;
+    we hash the 4-byte granule index by identity, which keeps nearby lock
+    variables distinguishable (important for the Bloom summary below).
+    """
+    return (address >> 2) & ((1 << 18) - 1)
+
+
+def bloom_hashes16(value: int) -> "tuple[int, int]":
+    """Two bit positions in [0, 16) for the lock Bloom summary.
+
+    The paper describes the ``Locks`` field as a "16-bit summary (2-way
+    bloom filter) of lock addresses": each lock sets two bits of a 16-bit
+    word, and race check R5 tests summaries for a shared bit.  We assign
+    the *pair* {2k, 2k+1} with k = value mod 8, so locks whose table
+    hashes differ mod 8 have fully disjoint summaries.  Independent random
+    hashes would instead collide for ~23% of lock pairs — hiding real
+    lockset races behind phantom intersections — while this structured
+    encoding keeps the Bloom guarantee that matters (a genuinely shared
+    lock always shares bits, so R5 still cannot false-positive).
+    """
+    k = value & 0x7
+    return (2 * k, 2 * k + 1)

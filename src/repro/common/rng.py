@@ -1,0 +1,52 @@
+"""Deterministic random number generation for schedulers and workloads.
+
+The ITS scheduler explores interleavings by making seeded pseudo-random
+choices.  We use SplitMix64 rather than :mod:`random` so that scheduler
+state is tiny, cheap to fork, and completely reproducible regardless of the
+interpreter's global RNG state.
+"""
+
+from __future__ import annotations
+
+from repro.common.hashing import mix64
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class SplitMix64:
+    """A tiny, fast, seedable PRNG (SplitMix64)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int = 0):
+        self.state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit output."""
+        self.state = (self.state + _GOLDEN) & _MASK64
+        return mix64(self.state)
+
+    def randint(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)``; ``bound`` must be > 0."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def random(self) -> float:
+        """Return a uniform float in ``[0, 1)``."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def choice(self, seq):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        return seq[self.randint(len(seq))]
+
+    def shuffle(self, seq) -> None:
+        """In-place Fisher-Yates shuffle of a mutable sequence."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint(i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def fork(self, salt: int) -> "SplitMix64":
+        """Derive an independent stream, e.g. one per warp."""
+        return SplitMix64(mix64(self.state ^ mix64(salt)))

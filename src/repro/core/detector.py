@@ -1,0 +1,484 @@
+"""The iGUARD detector: an instrumentation tool running "on the GPU".
+
+This is the paper's contribution assembled: on every load/store/atomic the
+detector reads the access's metadata entry, updates the sharing flags, runs
+the two-tier Table 2 checks, and writes the access back into the metadata;
+on every synchronization operation it updates the live counters and the
+lock tables.  Everything happens inline with (simulated) kernel execution
+— there is no CPU-side pass — so detection work is charged as *parallel*
+cycles, and only genuine metadata-lock contention is serialized.
+
+Performance features from the paper, all modeled:
+
+- NVBit-style one-time binary analysis cost per kernel (Figure 13 "NVBit");
+- metadata pre-faulting through UVM (Figure 14, "Setup" in Figure 13);
+- opportunistic coalescing of same-warp, same-address loads/atomics —
+  one representative thread checks on behalf of the converged group;
+- dynamic exponential backoff on the per-entry metadata locks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.checks import CurrentAccess, preliminary_checks, race_checks, select_md
+from repro.core.metadata import AccessorView
+from repro.core.config import DEFAULT_CONFIG, IGuardConfig
+from repro.core.contention import ContentionModel, ContentionParams
+from repro.core.metadata import MetadataTable
+from repro.core.report import RaceLog, RaceRecord
+from repro.core.syncstate import SyncMetadata
+from repro.core.uvm import ManagedMetadataSpace, UVMParams
+from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
+from repro.gpu.instructions import AtomicOp, Scope
+from repro.instrument.nvbit import LaunchInfo, Tool
+from repro.instrument.timing import Category
+
+
+@dataclass(frozen=True)
+class DetectorCosts:
+    """Cycle constants for the detector's own runtime (calibrated)."""
+
+    #: Host-side costs (binary analysis, metadata setup, kernel loading)
+    #: are constant per *application* on real hardware, where kernels run
+    #: ~10^3x longer than this simulation's.  To keep their share of
+    #: total runtime where Figure 13 puts it, they are charged as a
+    #: fraction of each launch's native duration plus a small constant.
+    nvbit_fixed: float = 20.0
+    nvbit_fraction: float = 0.9
+    nvbit_per_instruction: float = 0.1
+    setup_fixed: float = 8.0
+    setup_fraction: float = 0.25
+    misc_fixed: float = 5.0
+    misc_fraction: float = 0.1
+    #: Trampoline cost of one injected instrumentation call.
+    instrument_per_event: float = 4.0
+    #: Metadata read + two-tier checks + writeback for one access.
+    check_per_access: float = 14.0
+    #: Handling one synchronization operation.
+    sync_per_event: float = 6.0
+    #: Cost of a coalesced (skipped) access: the warp intrinsics used to
+    #: agree on a representative thread.
+    coalesced_skip: float = 1.0
+
+
+@dataclass
+class LaunchStats:
+    """Per-launch detector statistics, for tests and experiments."""
+
+    kernel: str = ""
+    accesses_checked: int = 0
+    accesses_coalesced: int = 0
+    preliminary_pass: Dict[str, int] = field(default_factory=dict)
+    races_reported: int = 0
+    contention_cycles: float = 0.0
+    uvm_faults: int = 0
+    uvm_prefaulted_pages: int = 0
+    metadata_entries: int = 0
+
+
+class IGuard(Tool):
+    """iGUARD attached to a simulated device.
+
+    Typical use::
+
+        device = Device()
+        detector = device.add_tool(IGuard())
+        ... allocate, launch kernels ...
+        for race in detector.races.sites():
+            print(race)
+    """
+
+    name = "iGUARD"
+
+    def __init__(
+        self,
+        config: IGuardConfig = DEFAULT_CONFIG,
+        costs: DetectorCosts = DetectorCosts(),
+        contention_params: ContentionParams = ContentionParams(),
+        uvm_params: UVMParams = UVMParams(),
+    ):
+        self.config = config
+        self.costs = costs
+        self.contention_params = contention_params
+        self.uvm_params = uvm_params
+        self.device = None
+        self.races = RaceLog(capacity=config.race_buffer_capacity)
+        self.table = MetadataTable(
+            config.granularity_bytes, config.metadata_entry_bytes
+        )
+        self.sync = SyncMetadata(config.lock_table_entries)
+        self.stats: List[LaunchStats] = []
+        self._launch: Optional[LaunchInfo] = None
+        self._contention: Optional[ContentionModel] = None
+        self._uvm: Optional[ManagedMetadataSpace] = None
+        self._current: Optional[LaunchStats] = None
+        self._coalesce_key: Optional[Tuple[int, int]] = None
+        #: Section 6.7 ablation state: per-granule history of the last N
+        #: accessors (beyond the single packed metadata entry).
+        self._history: Dict[int, Deque] = {}
+
+    # ------------------------------------------------------------------
+    # Tool lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, device) -> None:
+        self.device = device
+
+    def on_launch_begin(self, launch: LaunchInfo) -> None:
+        self._launch = launch
+        self._coalesce_key = None
+        self._current = LaunchStats(kernel=launch.kernel_name)
+        self.stats.append(self._current)
+
+        # Fresh synchronization metadata per kernel: counters describe the
+        # *running* kernel's threads.  Memory metadata is also reset — the
+        # implicit barrier at kernel completion orders everything, so stale
+        # entries could only cause false positives.
+        self.sync = SyncMetadata(self.config.lock_table_entries)
+        if self.config.reset_metadata_per_kernel:
+            self.table.clear()
+            self._history.clear()
+
+        # NVBit binary analysis and injection (the duration-proportional
+        # share is charged at launch end, once native time is known).
+        launch.timing.charge(
+            Category.NVBIT,
+            self.costs.nvbit_fixed
+            + self.costs.nvbit_per_instruction * launch.static_instruction_count,
+            serial=True,
+        )
+
+        # Metadata allocation: managed (UVM) or nothing to pre-fault.
+        memory = launch.device.memory
+        app_bytes = memory.bytes_allocated
+        metadata_needed = app_bytes * 4  # 16 bytes per 4-byte granule
+        self._uvm = ManagedMetadataSpace(
+            metadata_virtual_bytes=metadata_needed,
+            device_free_bytes=max(0, memory.capacity_bytes - app_bytes),
+            prefault=self.config.prefault and self.config.use_uvm,
+            params=self.uvm_params,
+        )
+        self._current.uvm_prefaulted_pages = self._uvm.prefaulted_pages
+        launch.timing.charge(
+            Category.SETUP,
+            self.costs.setup_fixed + self._uvm.setup_cycles,
+            serial=True,
+        )
+        launch.timing.charge(Category.MISC, self.costs.misc_fixed, serial=True)
+
+        # Contention accounting for this launch.
+        concurrent_warps = max(
+            1,
+            min(
+                launch.num_warps,
+                launch.device.config.max_concurrent_lanes // launch.warp_size,
+            ),
+        )
+        self._contention = ContentionModel(
+            num_threads=launch.num_threads,
+            concurrent_warps=concurrent_warps,
+            dynamic_backoff=self.config.dynamic_backoff,
+            params=self.contention_params,
+        )
+
+    def on_launch_end(self, launch: LaunchInfo) -> None:
+        self._finish(launch)
+
+    def on_timeout(self, launch: LaunchInfo) -> None:
+        # The paper's timeout path: flush detected races to the CPU, then
+        # terminate the kernel.
+        self._finish(launch)
+
+    def _finish(self, launch: LaunchInfo) -> None:
+        self.races.flush()
+        # Duration-proportional host-side shares (see DetectorCosts).
+        native = launch.timing.native_time
+        launch.timing.charge(
+            Category.NVBIT, self.costs.nvbit_fraction * native, serial=True
+        )
+        launch.timing.charge(
+            Category.SETUP, self.costs.setup_fraction * native, serial=True
+        )
+        launch.timing.charge(
+            Category.MISC, self.costs.misc_fraction * native, serial=True
+        )
+        if self._current is not None:
+            self._current.contention_cycles = (
+                self._contention.serialized_cycles if self._contention else 0.0
+            )
+            self._current.uvm_faults = self._uvm.faults if self._uvm else 0
+            self._current.metadata_entries = len(self.table)
+
+    # ------------------------------------------------------------------
+    # Synchronization operations
+    # ------------------------------------------------------------------
+
+    def on_sync(self, event: SyncEvent, launch: LaunchInfo) -> None:
+        launch.timing.charge(
+            Category.INSTRUMENTATION, self.costs.instrument_per_event
+        )
+        launch.timing.charge(Category.DETECTION, self.costs.sync_per_event)
+        where = event.where
+        if event.kind is SyncKind.SYNCTHREADS:
+            self.sync.on_syncthreads(where.block_id)
+        elif event.kind is SyncKind.SYNCWARP:
+            self.sync.on_syncwarp(where.warp_id)
+        elif event.kind is SyncKind.FENCE:
+            thread = (where.warp_id, where.lane)
+            self.sync.on_fence(thread, event.scope)
+            # A fence completes pending lock acquires (activateLocks).
+            table = self.sync.lock_table_for(where.warp_id, thread)
+            table.activate(event.scope)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def on_memory(self, event: MemoryEvent, launch: LaunchInfo) -> None:
+        launch.timing.charge(
+            Category.INSTRUMENTATION, self.costs.instrument_per_event
+        )
+
+        # Lock inference precedes race checking (Figure 6's orange boxes).
+        if event.kind is AccessKind.ATOMIC:
+            self._infer_locks(event)
+
+        # Opportunistic coalescing: active threads of one warp loading (or
+        # atomically updating) the same location cannot race with each
+        # other, so a single representative performs the metadata access
+        # on behalf of the converged group (section 6.5).
+        if self.config.coalescing and event.kind in (
+            AccessKind.LOAD,
+            AccessKind.ATOMIC,
+        ):
+            key = (event.batch, event.address)
+            if key == self._coalesce_key:
+                self._current.accesses_coalesced += 1
+                launch.timing.charge(
+                    Category.DETECTION, self.costs.coalesced_skip
+                )
+                return
+            self._coalesce_key = key
+        else:
+            self._coalesce_key = None
+
+        self._check_and_update(event, launch)
+
+    # -- lock inference -----------------------------------------------------
+
+    def _infer_locks(self, event: MemoryEvent) -> None:
+        where = event.where
+        thread = (where.warp_id, where.lane)
+        if event.atomic_op is AtomicOp.CAS:
+            if not self.config.infer_lock_on_failed_cas and not event.cas_succeeded:
+                return
+            warp_table = self.sync.warp_lock_table(where.warp_id)
+            # More than one thread of the warp CASing together means the
+            # kernel uses per-thread locks; the isThread bit is sticky.
+            if len(event.active_mask) > 1:
+                warp_table.is_thread = True
+            table = self.sync.lock_table_for(where.warp_id, thread)
+            table.insert(event.address, event.scope)
+        elif event.atomic_op is AtomicOp.EXCH:
+            table = self.sync.lock_table_for(where.warp_id, thread)
+            table.release(event.address, event.scope)
+
+    # -- race detection -------------------------------------------------------
+
+    def _check_and_update(self, event: MemoryEvent, launch: LaunchInfo) -> None:
+        config = self.config
+        where = event.where
+        thread = (where.warp_id, where.lane)
+        self._current.accesses_checked += 1
+
+        # Metadata residency (UVM) and entry-lock contention, both serial.
+        granule = self.table.granule_of(event.address)
+        if config.use_uvm and self._uvm is not None:
+            fault_cost = self._uvm.access(granule * config.metadata_entry_bytes)
+            if fault_cost:
+                launch.timing.charge(Category.DETECTION, fault_cost, serial=True)
+        if self._contention is not None:
+            stall = self._contention.on_metadata_access(
+                granule, event.batch, where.warp_id
+            )
+            if stall:
+                launch.timing.charge(Category.DETECTION, stall, serial=True)
+        launch.timing.charge(Category.DETECTION, self.costs.check_per_access)
+
+        entry = self.table.lookup(event.address)
+        tag = self.table.tag_of(event.address)
+        wpb = launch.warps_per_block
+
+        locks_bloom = int(
+            self.sync.lock_table_for(where.warp_id, thread).locks_bloom()
+        )
+        curr = CurrentAccess(
+            kind=event.kind,
+            warp_id=where.warp_id,
+            lane=where.lane,
+            block_id=where.block_id,
+            active_mask=event.active_mask,
+            locks_bloom=locks_bloom,
+        )
+
+        # Update the sharing flags from the last accessor before checking
+        # (section 6.2): they encode whether this granule has ever been
+        # shared across warps or threadblocks.
+        if entry.valid:
+            last = entry.last_accessor
+            if last.block_id(wpb) != curr.block_id:
+                entry.set_flag("DevShared", True)
+            elif last.warp_id != curr.warp_id:
+                entry.set_flag("BlkShared", True)
+
+        md = select_md(entry, curr)
+        passed = preliminary_checks(
+            curr, entry, md, self.sync, wpb, its_support=config.its_support
+        )
+        if passed is not None:
+            counts = self._current.preliminary_pass
+            counts[passed] = counts.get(passed, 0) + 1
+        else:
+            race_type = race_checks(
+                curr,
+                entry,
+                md,
+                self.sync,
+                wpb,
+                its_support=config.its_support,
+                lockset=config.lockset,
+            )
+            if race_type is not None:
+                self._report(race_type, event, md, launch)
+
+        # Section 6.7 ablation: also compare against older accessors when
+        # a history depth beyond the packed entry is configured.
+        if config.accessor_history > 1:
+            self._check_history(curr, entry, event, granule, launch, wpb)
+
+        self._write_back(entry, tag, curr, event, thread, locks_bloom)
+        if config.accessor_history > 1:
+            self._record_history(granule, curr, event, thread, locks_bloom)
+
+    # -- accessor-history ablation (section 6.7) -----------------------------
+
+    def _check_history(self, curr, entry, event, granule, launch, wpb) -> None:
+        """Check the current access against every remembered accessor."""
+        history = self._history.get(granule)
+        if not history:
+            return
+        config = self.config
+        for view, was_write in history:
+            if not (event.is_write or was_write):
+                continue  # two reads cannot race
+            launch.timing.charge(
+                Category.DETECTION, self.costs.check_per_access / 2
+            )
+            passed = preliminary_checks(
+                curr, entry, view, self.sync, wpb,
+                its_support=config.its_support,
+            )
+            if passed is not None:
+                continue
+            race_type = race_checks(
+                curr, entry, view, self.sync, wpb,
+                its_support=config.its_support, lockset=config.lockset,
+            )
+            if race_type is not None:
+                self._report(race_type, event, view, launch)
+
+    def _record_history(self, granule, curr, event, thread, locks_bloom) -> None:
+        history = self._history.get(granule)
+        if history is None:
+            history = deque(maxlen=self.config.accessor_history)
+            self._history[granule] = history
+        view = AccessorView(
+            warp_id=curr.warp_id,
+            lane=curr.lane,
+            dev_fence=self.sync.dev_fence(thread),
+            blk_fence=self.sync.blk_fence(thread),
+            blk_bar=self.sync.blk_bar(curr.block_id),
+            warp_bar=self.sync.warp_bar(curr.warp_id),
+            locks=locks_bloom,
+        )
+        history.append((view, event.is_write))
+
+    def _write_back(
+        self, entry, tag: int, curr: CurrentAccess, event: MemoryEvent,
+        thread, locks_bloom: int,
+    ) -> None:
+        """Record the current access into the metadata entry (section 6.2)."""
+        dev_fence = self.sync.dev_fence(thread)
+        blk_fence = self.sync.blk_fence(thread)
+        blk_bar = self.sync.blk_bar(curr.block_id)
+        warp_bar = self.sync.warp_bar(curr.warp_id)
+
+        entry.set_accessor(
+            tag=tag,
+            warp_id=curr.warp_id,
+            lane=curr.lane,
+            dev_fence=dev_fence,
+            blk_fence=blk_fence,
+            blk_bar=blk_bar,
+            warp_bar=warp_bar,
+        )
+        if event.is_write:
+            entry.set_writer(
+                warp_id=curr.warp_id,
+                lane=curr.lane,
+                dev_fence=dev_fence,
+                blk_fence=blk_fence,
+                blk_bar=blk_bar,
+                warp_bar=warp_bar,
+                locks=locks_bloom,
+            )
+            entry.set_flag("Modified", True)
+            if event.kind is AccessKind.ATOMIC:
+                entry.set_flag("Atomic", True)
+                entry.set_flag(
+                    "Scope", event.scope.effective is Scope.BLOCK
+                )
+            else:
+                entry.set_flag("Atomic", False)
+                entry.set_flag("Scope", False)
+
+    def _report(self, race_type, event: MemoryEvent, md, launch: LaunchInfo) -> None:
+        where = event.where
+        record = RaceRecord(
+            race_type=race_type,
+            kernel=launch.kernel_name,
+            ip=event.ip,
+            access=event.kind.value,
+            address=event.address,
+            location=launch.device.memory.describe(event.address),
+            warp_id=where.warp_id,
+            lane=where.lane,
+            block_id=where.block_id,
+            prev_warp_id=md.warp_id,
+            prev_lane=md.lane,
+        )
+        if self.races.report(record):
+            self._current.races_reported += 1
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def race_count(self) -> int:
+        """Number of unique racy sites detected so far."""
+        return self.races.num_sites
+
+    def race_types(self):
+        """The set of race types detected so far."""
+        return self.races.types()
+
+    def summary(self) -> str:
+        """Multi-line human-readable report of all detected races."""
+        lines = [f"iGUARD: {self.race_count} race site(s) detected"]
+        for ip, race_type in self.races.sites():
+            lines.append(f"  [{race_type}] at {ip}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Race diagnosis: turn a race record into an actionable explanation.
+
+The real tool prints the instruction, address, and cause; developers then
+have to know what an "insufficient atomic scope" means for their code.
+This module closes that gap: for each race type it explains which Table 2
+condition fired, why the synchronization in place was insufficient, and
+what the canonical fix is — the advice the paper gives in sections 3 and
+7.1 for each bug class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.report import RaceRecord, RaceType
+
+#: Which race-check condition produces each type, and the canonical fix.
+_CAUSES = {
+    RaceType.ATOMIC_SCOPE: (
+        "R1",
+        "the location is updated with *block-scope* atomics, but a thread "
+        "of a different threadblock accessed it; the block scope does not "
+        "guarantee visibility or atomicity outside the updating block "
+        "(paper section 3.1, Figure 1)",
+        "widen the atomic's scope to device (e.g. atomicAdd instead of "
+        "atomicAdd_block) for any variable read or updated across "
+        "threadblocks",
+    ),
+    RaceType.ITS: (
+        "R2",
+        "two threads of the *same warp* touched the location and no "
+        "__syncwarp() or fence separated the accesses; since Volta's "
+        "Independent Thread Scheduling, warp threads make independent "
+        "progress and implicit lockstep ordering no longer exists (paper "
+        "section 3.2, Figure 2)",
+        "insert __syncwarp() between the warp-level phases that hand data "
+        "between lanes",
+    ),
+    RaceType.INTRA_BLOCK: (
+        "R3",
+        "two threads of the same threadblock accessed the location with "
+        "no intervening __syncthreads() and no fence by the previous "
+        "accessor",
+        "separate the producing and consuming phases with __syncthreads() "
+        "(or publish with __threadfence_block() plus an atomic flag)",
+    ),
+    RaceType.INTER_BLOCK: (
+        "R4",
+        "threads of *different threadblocks* accessed the location and "
+        "the previous accessor never executed a device-scope fence, so "
+        "its write is not ordered with this access; block-scope fences "
+        "and __syncthreads() cannot order accesses across blocks (this is "
+        "also how Cooperative-Groups misuse surfaces, e.g. the "
+        "leader-only-fence grid sync of Figure 10)",
+        "have the producing thread execute __threadfence() (device scope) "
+        "before publishing, or synchronize the whole grid with a correct "
+        "cooperative-groups grid.sync()",
+    ),
+    RaceType.IMPROPER_LOCKING: (
+        "R5",
+        "both accesses ran under inferred locks, but the lock sets do not "
+        "intersect: different locks cannot order accesses to the same "
+        "data (paper section 6.6, Figure 9 — typical with per-thread "
+        "locks guarding a shared accumulator)",
+        "protect each shared location with one designated lock that every "
+        "accessor acquires (lock the *data*, not the thread)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """A structured explanation of one race record."""
+
+    record: RaceRecord
+    condition: str  # the Table 2 condition that fired (R1..R5)
+    explanation: str
+    suggested_fix: str
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        r = self.record
+        return "\n".join(
+            [
+                f"RACE [{r.race_type}] in kernel {r.kernel!r}",
+                f"  at        : {r.ip} ({r.access} of {r.location})",
+                f"  by        : warp {r.warp_id}, lane {r.lane} "
+                f"(block {r.block_id})",
+                f"  conflicts : previous access by warp {r.prev_warp_id}, "
+                f"lane {r.prev_lane}",
+                f"  condition : {self.condition} (Table 2)",
+                f"  cause     : {self.explanation}",
+                f"  fix       : {self.suggested_fix}",
+            ]
+        )
+
+
+def diagnose(record: RaceRecord) -> Diagnosis:
+    """Build the diagnosis for one race record."""
+    condition, explanation, fix = _CAUSES[record.race_type]
+    return Diagnosis(
+        record=record,
+        condition=condition,
+        explanation=explanation,
+        suggested_fix=fix,
+    )
+
+
+def diagnose_all(records) -> List[Diagnosis]:
+    """Diagnose a collection of records, one per unique site."""
+    seen = set()
+    out = []
+    for record in records:
+        if record.ip in seen:
+            continue
+        seen.add(record.ip)
+        out.append(diagnose(record))
+    return out
+
+
+def report(detector) -> str:
+    """A full diagnostic report for a detector's findings."""
+    diagnoses = diagnose_all(detector.races.records())
+    if not diagnoses:
+        return "No races detected."
+    parts = [f"{len(diagnoses)} racy site(s):", ""]
+    for diagnosis in diagnoses:
+        parts.append(diagnosis.render())
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,256 @@
+"""Memory metadata: the 16-byte per-granule entry of Figure 4.
+
+Each 4-byte granule of global memory is shadowed by two packed 64-bit
+words:
+
+``accessor`` word (the *last accessor* — reader or writer)::
+
+    [63-54] [53-48] [47-46] [45-31] [30-26]    [25-20]    [19-14]    [13-6]   [5-0]
+    Tag     Flags   Unused  WarpID  ThreadID   DevFenceID BlkFenceID BlkBarID WarpBarID
+
+    Flags = Valid | Modified | Atomic | Scope | DevShared | BlkShared
+
+``writer`` word (the *last writer*)::
+
+    [63-48] [47-46] [45-31] [30-26]    [25-20]    [19-14]    [13-6]   [5-0]
+    Locks   Unused  WarpID  ThreadID   DevFenceID BlkFenceID BlkBarID WarpBarID
+
+Field meanings (section 6.2): ``WarpID`` is the global warp index and
+``ThreadID`` the 5-bit lane; the block ID is *derived* by dividing WarpID
+by the kernel's warps-per-block.  The fence/barrier IDs snapshot the
+accessor's synchronization counters at access time.  ``Locks`` is the
+16-bit 2-way Bloom filter of locks held by the writer.  Counters are
+narrow on purpose — they wrap exactly as the paper's do (section 6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.bitfield import BitField, BitStruct
+from repro.gpu.ids import block_of_warp
+
+#: The last-accessor word (Figure 4, top row).
+ACCESSOR_WORD = BitStruct(
+    "accessor",
+    [
+        BitField("Tag", 63, 54),
+        BitField("BlkShared", 53, 53),
+        BitField("DevShared", 52, 52),
+        BitField("Scope", 51, 51),
+        BitField("Atomic", 50, 50),
+        BitField("Modified", 49, 49),
+        BitField("Valid", 48, 48),
+        BitField("Unused", 47, 46),
+        BitField("WarpID", 45, 31),
+        BitField("ThreadID", 30, 26),
+        BitField("DevFenceID", 25, 20),
+        BitField("BlkFenceID", 19, 14),
+        BitField("BlkBarID", 13, 6),
+        BitField("WarpBarID", 5, 0),
+    ],
+)
+
+#: The last-writer word (Figure 4, bottom row).
+WRITER_WORD = BitStruct(
+    "writer",
+    [
+        BitField("Locks", 63, 48),
+        BitField("Unused", 47, 46),
+        BitField("WarpID", 45, 31),
+        BitField("ThreadID", 30, 26),
+        BitField("DevFenceID", 25, 20),
+        BitField("BlkFenceID", 19, 14),
+        BitField("BlkBarID", 13, 6),
+        BitField("WarpBarID", 5, 0),
+    ],
+)
+
+#: Bit widths of the synchronization counters, shared with syncstate so the
+#: live counters wrap at exactly the same width as the stored snapshots.
+DEV_FENCE_BITS = ACCESSOR_WORD.field("DevFenceID").width  # 6
+BLK_FENCE_BITS = ACCESSOR_WORD.field("BlkFenceID").width  # 6
+BLK_BAR_BITS = ACCESSOR_WORD.field("BlkBarID").width  # 8
+WARP_BAR_BITS = ACCESSOR_WORD.field("WarpBarID").width  # 6
+TAG_BITS = ACCESSOR_WORD.field("Tag").width  # 10
+
+
+@dataclass(frozen=True)
+class AccessorView:
+    """Unpacked identity + sync snapshot of one metadata word."""
+
+    warp_id: int
+    lane: int
+    dev_fence: int
+    blk_fence: int
+    blk_bar: int
+    warp_bar: int
+    locks: int = 0
+
+    def block_id(self, warps_per_block: int) -> int:
+        """The accessor's threadblock, derived from its warp ID."""
+        return block_of_warp(self.warp_id, warps_per_block)
+
+
+class MetadataEntry:
+    """One 16-byte metadata entry, stored as two packed 64-bit words."""
+
+    __slots__ = ("accessor_word", "writer_word")
+
+    def __init__(self, accessor_word: int = 0, writer_word: int = 0):
+        self.accessor_word = accessor_word
+        self.writer_word = writer_word
+
+    # -- flags ---------------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        return bool(ACCESSOR_WORD.get(self.accessor_word, "Valid"))
+
+    @property
+    def modified(self) -> bool:
+        return bool(ACCESSOR_WORD.get(self.accessor_word, "Modified"))
+
+    @property
+    def atomic(self) -> bool:
+        return bool(ACCESSOR_WORD.get(self.accessor_word, "Atomic"))
+
+    @property
+    def scope_is_block(self) -> bool:
+        """Scope flag: 1 if the last atomic used threadblock scope."""
+        return bool(ACCESSOR_WORD.get(self.accessor_word, "Scope"))
+
+    @property
+    def dev_shared(self) -> bool:
+        return bool(ACCESSOR_WORD.get(self.accessor_word, "DevShared"))
+
+    @property
+    def blk_shared(self) -> bool:
+        return bool(ACCESSOR_WORD.get(self.accessor_word, "BlkShared"))
+
+    @property
+    def tag(self) -> int:
+        return ACCESSOR_WORD.get(self.accessor_word, "Tag")
+
+    def set_flag(self, name: str, value: bool) -> None:
+        self.accessor_word = ACCESSOR_WORD.set(self.accessor_word, name, int(value))
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def last_accessor(self) -> AccessorView:
+        word = self.accessor_word
+        return AccessorView(
+            warp_id=ACCESSOR_WORD.get(word, "WarpID"),
+            lane=ACCESSOR_WORD.get(word, "ThreadID"),
+            dev_fence=ACCESSOR_WORD.get(word, "DevFenceID"),
+            blk_fence=ACCESSOR_WORD.get(word, "BlkFenceID"),
+            blk_bar=ACCESSOR_WORD.get(word, "BlkBarID"),
+            warp_bar=ACCESSOR_WORD.get(word, "WarpBarID"),
+            locks=WRITER_WORD.get(self.writer_word, "Locks"),
+        )
+
+    @property
+    def last_writer(self) -> AccessorView:
+        word = self.writer_word
+        return AccessorView(
+            warp_id=WRITER_WORD.get(word, "WarpID"),
+            lane=WRITER_WORD.get(word, "ThreadID"),
+            dev_fence=WRITER_WORD.get(word, "DevFenceID"),
+            blk_fence=WRITER_WORD.get(word, "BlkFenceID"),
+            blk_bar=WRITER_WORD.get(word, "BlkBarID"),
+            warp_bar=WRITER_WORD.get(word, "WarpBarID"),
+            locks=WRITER_WORD.get(word, "Locks"),
+        )
+
+    # -- updates ---------------------------------------------------------
+
+    def set_accessor(
+        self,
+        tag: int,
+        warp_id: int,
+        lane: int,
+        dev_fence: int,
+        blk_fence: int,
+        blk_bar: int,
+        warp_bar: int,
+    ) -> None:
+        """Record the current access in the last-accessor word."""
+        word = self.accessor_word
+        word = ACCESSOR_WORD.set(word, "Tag", tag)
+        word = ACCESSOR_WORD.set(word, "Valid", 1)
+        word = ACCESSOR_WORD.set(word, "WarpID", warp_id)
+        word = ACCESSOR_WORD.set(word, "ThreadID", lane)
+        word = ACCESSOR_WORD.set(word, "DevFenceID", dev_fence)
+        word = ACCESSOR_WORD.set(word, "BlkFenceID", blk_fence)
+        word = ACCESSOR_WORD.set(word, "BlkBarID", blk_bar)
+        word = ACCESSOR_WORD.set(word, "WarpBarID", warp_bar)
+        self.accessor_word = word
+
+    def set_writer(
+        self,
+        warp_id: int,
+        lane: int,
+        dev_fence: int,
+        blk_fence: int,
+        blk_bar: int,
+        warp_bar: int,
+        locks: int,
+    ) -> None:
+        """Record the current write in the last-writer word."""
+        word = self.writer_word
+        word = WRITER_WORD.set(word, "Locks", locks)
+        word = WRITER_WORD.set(word, "WarpID", warp_id)
+        word = WRITER_WORD.set(word, "ThreadID", lane)
+        word = WRITER_WORD.set(word, "DevFenceID", dev_fence)
+        word = WRITER_WORD.set(word, "BlkFenceID", blk_fence)
+        word = WRITER_WORD.set(word, "BlkBarID", blk_bar)
+        word = WRITER_WORD.set(word, "WarpBarID", warp_bar)
+        self.writer_word = word
+
+
+class MetadataTable:
+    """The full shadow table: one entry per accessed granule.
+
+    Entries are created lazily (the Valid bit plays the role of
+    initialization, matching the paper's UVM-backed on-demand metadata).
+    """
+
+    def __init__(self, granularity_bytes: int = 4, entry_bytes: int = 16):
+        self.granularity_bytes = granularity_bytes
+        self.entry_bytes = entry_bytes
+        self._entries: Dict[int, MetadataEntry] = {}
+
+    def granule_of(self, address: int) -> int:
+        """Index of the granule shadowing ``address``."""
+        return address // self.granularity_bytes
+
+    def tag_of(self, address: int) -> int:
+        """The address tag stored to disambiguate granules (Figure 4)."""
+        return self.granule_of(address) & ((1 << TAG_BITS) - 1)
+
+    def lookup(self, address: int) -> MetadataEntry:
+        """Fetch (creating if absent) the entry shadowing ``address``."""
+        granule = self.granule_of(address)
+        entry = self._entries.get(granule)
+        if entry is None:
+            entry = MetadataEntry()
+            self._entries[granule] = entry
+        return entry
+
+    def peek(self, address: int) -> Optional[MetadataEntry]:
+        """Fetch the entry without creating it."""
+        return self._entries.get(self.granule_of(address))
+
+    def clear(self) -> None:
+        """Drop all entries (kernel boundary: implicit global barrier)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def shadow_bytes(self) -> int:
+        """Bytes of metadata materialized so far."""
+        return len(self._entries) * self.entry_bytes

@@ -1,0 +1,142 @@
+"""Race records, classification, and the report buffer.
+
+iGUARD reports "identities of instructions, the address of the data
+participating in a race, and the cause"; records accumulate in a 1 MB
+buffer that is shipped to the CPU when full or at program end (section 5).
+Races are classified by the first matching Table 2 condition:
+
+========  ==================================  =========
+R check   meaning                             Table 4 tag
+========  ==================================  =========
+R1        insufficient atomic scope           AS
+R2        intra-warp race under ITS           ITS
+R3        intra-threadblock race              BR
+R4        inter-threadblock (device) race     DR
+R5        improper locking (lockset)          IL
+========  ==================================  =========
+
+Races caused by misuse of Cooperative Groups have no dedicated check — CG
+is built from the primitives, so they surface as one of the above (the
+paper's Table 4 lists them as "CG (DR)").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+
+class RaceType(enum.Enum):
+    """Race classification, tagged as in Table 4."""
+
+    IMPROPER_LOCKING = "IL"
+    ATOMIC_SCOPE = "AS"
+    ITS = "ITS"
+    INTRA_BLOCK = "BR"
+    INTER_BLOCK = "DR"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One detected race occurrence."""
+
+    race_type: RaceType
+    kernel: str
+    ip: str
+    access: str  # "load" / "store" / "atomic"
+    address: int
+    location: str  # human-readable "array[index]"
+    warp_id: int
+    lane: int
+    block_id: int
+    prev_warp_id: int
+    prev_lane: int
+
+    def describe(self) -> str:
+        """One-line report in the spirit of the tool's CPU-side output."""
+        return (
+            f"[{self.race_type}] {self.access} at {self.ip} on "
+            f"{self.location} (0x{self.address:x}) by thread "
+            f"w{self.warp_id}.t{self.lane} (block {self.block_id}); "
+            f"previous access by w{self.prev_warp_id}.t{self.prev_lane}"
+        )
+
+
+@dataclass
+class RaceBuffer:
+    """The fixed-size device-side buffer of race records.
+
+    When the buffer fills, its contents are "sent to the CPU" — drained
+    into :attr:`reported` — exactly as the real tool does without stopping
+    execution.  ``flushes`` counts those CPU round-trips.
+    """
+
+    capacity: int
+    pending: List[RaceRecord] = field(default_factory=list)
+    reported: List[RaceRecord] = field(default_factory=list)
+    flushes: int = 0
+
+    def push(self, record: RaceRecord) -> None:
+        """Append a record, flushing to the host if the buffer is full."""
+        self.pending.append(record)
+        if len(self.pending) >= self.capacity:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship pending records to the host side."""
+        if self.pending:
+            self.reported.extend(self.pending)
+            self.pending.clear()
+            self.flushes += 1
+
+    def all_records(self) -> List[RaceRecord]:
+        """Reported plus still-buffered records."""
+        return self.reported + self.pending
+
+
+class RaceLog:
+    """Host-side aggregation: dedup by racy program site.
+
+    The paper counts *static* races ("57 races in 21 GPU programs"): one
+    per racy instruction site, however many dynamic occurrences there are.
+    The dedup key is the reporting instruction's source location.
+    """
+
+    def __init__(self, capacity: int):
+        self.buffer = RaceBuffer(capacity=capacity)
+        self._seen_sites: Set[str] = set()
+        self._site_types: dict = {}
+
+    def report(self, record: RaceRecord) -> bool:
+        """Add a dynamic race; returns True if the *site* is new."""
+        self.buffer.push(record)
+        if record.ip in self._seen_sites:
+            return False
+        self._seen_sites.add(record.ip)
+        self._site_types[record.ip] = record.race_type
+        return True
+
+    @property
+    def num_sites(self) -> int:
+        """Number of unique racy sites (the paper's race count)."""
+        return len(self._seen_sites)
+
+    def sites(self) -> List[Tuple[str, RaceType]]:
+        """Sorted (ip, type) pairs of unique racy sites."""
+        return sorted(self._site_types.items())
+
+    def types(self) -> Set[RaceType]:
+        """The set of race types observed."""
+        return set(self._site_types.values())
+
+    def records(self) -> List[RaceRecord]:
+        """Every dynamic race record seen so far."""
+        return self.buffer.all_records()
+
+    def flush(self) -> None:
+        """Force the device buffer to the host (kernel end / timeout)."""
+        self.buffer.flush()

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the iGUARD reproduction.
+
+Every error raised by the package derives from :class:`ReproError` so that
+callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch was malformed (bad grid/block dimensions, etc.)."""
+
+
+class MemoryError_(ReproError):
+    """A simulated memory operation failed (OOM, bad address, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class OutOfMemoryError(MemoryError_):
+    """The simulated device ran out of memory."""
+
+
+class InvalidAddressError(MemoryError_):
+    """An access touched an address outside any allocation."""
+
+
+class DeadlockError(ReproError):
+    """All runnable threads are blocked (e.g. divergent ``syncthreads``)."""
+
+
+class TimeoutError_(ReproError):
+    """A kernel exceeded its step budget (the paper's parameterized timeout)."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A detector was asked to handle a feature it does not support.
+
+    Barracuda raises this for scoped atomics and for binaries it cannot
+    ingest, mirroring the failures reported in the paper's evaluation.
+    """
+
+
+class KernelSourceError(ReproError):
+    """A kernel function was not a generator or misused the DSL."""

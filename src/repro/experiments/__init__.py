@@ -1,0 +1,43 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+One module per artifact:
+
+==========================  =============================================
+module                      reproduces
+==========================  =============================================
+``repro.experiments.table1``    Table 1 — detector feature matrix
+``repro.experiments.table4``    Table 4 — races detected (iGUARD vs Barracuda)
+``repro.experiments.table5``    Table 5 — race-free applications (no false positives)
+``repro.experiments.figure11``  Figure 11 — performance overheads (racy + race-free)
+``repro.experiments.figure12``  Figure 12 — contention-optimization ablation
+``repro.experiments.figure13``  Figure 13 — runtime breakdown per suite
+``repro.experiments.figure14``  Figure 14 — memory-footprint scaling (UVM vs pinned)
+``repro.experiments.motivation``  section 1 — scoped fence cost ratio
+==========================  =============================================
+
+Each module exposes ``run()`` returning structured results and ``render()``
+producing the printable table; ``python -m repro.experiments.<name>`` (or
+the ``iguard-experiments`` console script) prints it.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for discovery)
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    motivation,
+    table1,
+    table4,
+    table5,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table4": table4,
+    "table5": table5,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "motivation": motivation,
+}

@@ -1,0 +1,43 @@
+"""Command-line entry point: ``iguard-experiments [name ...]``.
+
+Runs the requested experiments (default: all of them) and prints the
+paper-style tables.  Available names: table1, table4, table5, figure11,
+figure12, figure13, figure14, motivation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="iguard-experiments",
+        description="Regenerate the iGUARD paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help=f"experiments to run (default: all); one of "
+             f"{', '.join(ALL_EXPERIMENTS)}",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        started = time.time()
+        module.main()
+        print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

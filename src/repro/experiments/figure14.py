@@ -1,0 +1,132 @@
+"""Figure 14: overhead scaling with application memory footprint.
+
+The paper scales d_reduce's input from 1 GB to 16 GB on the 24 GB Titan
+RTX.  Barracuda pins half of device memory for its buffers plus shadow
+space proportional to the input — beyond 8 GB it simply fails with
+out-of-memory.  iGUARD allocates its 4x metadata through UVM: as long as
+application + metadata fit, it pre-faults everything and overhead stays
+flat; beyond that, metadata pages fault and migrate on demand and the
+overhead *grows gracefully* instead of failing.
+
+The simulated kernel touches points spread uniformly across the virtual
+footprint (one strided element per touch), so the metadata page working
+set scales with the footprint exactly as the real workload's does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines import Barracuda
+from repro.core import IGuard
+from repro.errors import OutOfMemoryError
+from repro.experiments.reporting import fmt_overhead, render_table, title
+from repro.gpu.arch import GiB
+from repro.gpu.device import Device
+from repro.gpu.instructions import atomic_add, compute, load
+from repro.workloads.base import SIM_GPU
+
+FOOTPRINTS_GB = (1, 2, 4, 8, 16)
+_GRID, _BLOCK = 8, 32
+_POINTS_PER_THREAD = 8
+
+
+def _scaling_kernel(ctx, big, partials, stride_words, points):
+    """d_reduce over a strided sample of a huge array."""
+    tid = ctx.tid
+    total = 0
+    for i in range(points):
+        index = (tid * points + i) * stride_words
+        v = yield load(big, index)
+        yield compute(200)
+        total += v
+    yield atomic_add(partials, ctx.block_id, total)
+
+
+@dataclass
+class Point:
+    """One footprint's pair of bars."""
+
+    footprint_gb: int
+    iguard: Optional[float]
+    iguard_faults: int
+    barracuda: Optional[float]  # None = out of memory
+
+
+def _run_one(footprint_bytes: int, tool_factory) -> "tuple[Optional[float], int]":
+    device = Device(SIM_GPU)
+    tool = device.add_tool(tool_factory()) if tool_factory else None
+    num_words = footprint_bytes // 4
+    touches = _GRID * _BLOCK * _POINTS_PER_THREAD
+    stride_words = max(1, num_words // touches)
+    try:
+        big = device.alloc("big", num_words, init=None)
+    except OutOfMemoryError:
+        return None, 0
+    partials = device.alloc("partials", _GRID, init=0)
+    try:
+        run = device.launch(
+            _scaling_kernel,
+            grid_dim=_GRID,
+            block_dim=_BLOCK,
+            args=(big, partials, stride_words, _POINTS_PER_THREAD),
+            seed=1,
+        )
+    except OutOfMemoryError:
+        return None, 0
+    faults = 0
+    if tool is not None and getattr(tool, "stats", None):
+        faults = tool.stats[-1].uvm_faults
+    return run.overhead, faults
+
+
+def run(footprints_gb=FOOTPRINTS_GB) -> List[Point]:
+    """Sweep footprints under both detectors."""
+    points = []
+    for gb in footprints_gb:
+        footprint = gb * GiB
+        ig_overhead, faults = _run_one(footprint, IGuard)
+        bar_overhead, _ = _run_one(footprint, Barracuda)
+        points.append(
+            Point(
+                footprint_gb=gb,
+                iguard=ig_overhead,
+                iguard_faults=faults,
+                barracuda=bar_overhead,
+            )
+        )
+    return points
+
+
+def render(points: List[Point]) -> str:
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                f"{p.footprint_gb} GB",
+                fmt_overhead(p.iguard) if p.iguard else "Out of memory",
+                p.iguard_faults,
+                fmt_overhead(p.barracuda) if p.barracuda else "Out of memory",
+            ]
+        )
+    table = render_table(
+        ["Footprint", "iGUARD", "iGUARD page faults", "Barracuda"], rows
+    )
+    return "\n".join(
+        [
+            title("Figure 14: overhead vs application memory footprint (24 GB GPU)"),
+            table,
+            "",
+            "Barracuda's pinned buffers make it fail outright past 8 GB; "
+            "iGUARD's UVM-backed metadata degrades gracefully instead.",
+        ]
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

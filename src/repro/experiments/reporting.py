@@ -1,0 +1,29 @@
+"""Plain-text rendering helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in materialized:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_overhead(value: float) -> str:
+    """Format a slowdown factor the way the paper labels its bars."""
+    return f"{value:.1f}x"
+
+
+def title(text: str) -> str:
+    """A underlined section title."""
+    return f"{text}\n{'=' * len(text)}"

@@ -1,0 +1,81 @@
+"""The GPU execution-model substrate.
+
+This subpackage is the reproduction's stand-in for real NVIDIA hardware: a
+CUDA-like programming model (grids, threadblocks, warps, scoped atomics and
+fences, threadblock and warp barriers) executed by either a pre-Volta
+lockstep scheduler or a Volta-style Independent Thread Scheduling (ITS)
+scheduler.  Kernels are Python generator functions that yield instructions
+from :mod:`repro.gpu.instructions`.
+"""
+
+from repro.gpu.arch import GPUConfig, TITAN_RTX
+from repro.gpu.device import Device, KernelRun
+from repro.gpu.ids import Dim3, ThreadLocation
+from repro.gpu.instructions import (
+    Scope,
+    AtomicOp,
+    Load,
+    Store,
+    Atomic,
+    Fence,
+    Syncthreads,
+    Syncwarp,
+    Compute,
+    load,
+    store,
+    atomic_add,
+    atomic_sub,
+    atomic_max,
+    atomic_min,
+    atomic_or,
+    atomic_and,
+    atomic_cas,
+    atomic_exch,
+    atomic_load,
+    fence,
+    fence_block,
+    fence_device,
+    syncthreads,
+    syncwarp,
+    compute,
+)
+from repro.gpu.memory import GlobalArray, GlobalMemory
+from repro.gpu.scheduler import SchedulerKind
+
+__all__ = [
+    "GPUConfig",
+    "TITAN_RTX",
+    "Device",
+    "KernelRun",
+    "Dim3",
+    "ThreadLocation",
+    "Scope",
+    "AtomicOp",
+    "Load",
+    "Store",
+    "Atomic",
+    "Fence",
+    "Syncthreads",
+    "Syncwarp",
+    "Compute",
+    "load",
+    "store",
+    "atomic_add",
+    "atomic_sub",
+    "atomic_max",
+    "atomic_min",
+    "atomic_or",
+    "atomic_and",
+    "atomic_cas",
+    "atomic_exch",
+    "atomic_load",
+    "fence",
+    "fence_block",
+    "fence_device",
+    "syncthreads",
+    "syncwarp",
+    "compute",
+    "GlobalArray",
+    "GlobalMemory",
+    "SchedulerKind",
+]

@@ -1,0 +1,97 @@
+"""GPU architecture description.
+
+:class:`GPUConfig` captures the handful of hardware parameters the
+simulation and the cost model need: SM count, warp width, memory capacity,
+and whether the chip supports Independent Thread Scheduling.  ``TITAN_RTX``
+mirrors the evaluation platform of the paper (Table 3: NVIDIA Titan RTX,
+72 SMs, 24 GB GDDR6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+GiB = 1024 ** 3
+MiB = 1024 ** 2
+KiB = 1024
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Static description of a simulated GPU.
+
+    Attributes:
+        name: human-readable model name.
+        num_sms: number of streaming multiprocessors.
+        warp_size: threads per warp (32 on all NVIDIA parts).
+        max_threads_per_block: CUDA limit, 1024.
+        lanes_per_sm: concurrently executing lanes per SM; together with
+            ``num_sms`` this bounds the wall-time parallelism of the
+            cost model.
+        memory_bytes: device (global) memory capacity.
+        supports_its: whether the chip has Independent Thread Scheduling
+            (Volta, circa 2017, onward).
+    """
+
+    name: str = "Simulated GPU"
+    num_sms: int = 72
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    lanes_per_sm: int = 64
+    memory_bytes: int = 24 * GiB
+    supports_its: bool = True
+
+    def __post_init__(self) -> None:
+        if self.warp_size < 1 or self.warp_size > 64:
+            raise ConfigError(f"warp_size must be in [1, 64], got {self.warp_size}")
+        if self.num_sms < 1:
+            raise ConfigError("num_sms must be >= 1")
+        if self.memory_bytes < 1 * MiB:
+            raise ConfigError("memory_bytes must be at least 1 MiB")
+        if self.max_threads_per_block % self.warp_size:
+            raise ConfigError("max_threads_per_block must be a warp multiple")
+
+    @property
+    def max_concurrent_lanes(self) -> int:
+        """Upper bound on simultaneously executing lanes across the chip."""
+        return self.num_sms * self.lanes_per_sm
+
+    def scaled_memory(self, memory_bytes: int) -> "GPUConfig":
+        """A copy of this config with a different memory capacity."""
+        return replace(self, memory_bytes=memory_bytes)
+
+
+#: The paper's evaluation platform (Table 3).
+TITAN_RTX = GPUConfig(
+    name="NVIDIA Titan RTX",
+    num_sms=72,
+    warp_size=32,
+    max_threads_per_block=1024,
+    lanes_per_sm=64,
+    memory_bytes=24 * GiB,
+    supports_its=True,
+)
+
+#: A pre-Volta style device without ITS, for lockstep-mode experiments.
+PRE_VOLTA = GPUConfig(
+    name="Pre-Volta GPU (lockstep)",
+    num_sms=28,
+    warp_size=32,
+    max_threads_per_block=1024,
+    lanes_per_sm=64,
+    memory_bytes=12 * GiB,
+    supports_its=False,
+)
+
+#: A small device for fast unit tests (tiny warps keep interleavings dense).
+TEST_GPU = GPUConfig(
+    name="Test GPU",
+    num_sms=4,
+    warp_size=4,
+    max_threads_per_block=64,
+    lanes_per_sm=8,
+    memory_bytes=64 * MiB,
+    supports_its=True,
+)

@@ -1,0 +1,94 @@
+"""Event records delivered to instrumentation tools.
+
+The instrumentation layer (our NVBit stand-in) observes the dynamic
+instruction stream as a sequence of these records.  A race detector needs
+exactly what iGUARD's injected SASS callbacks receive: the kind of access,
+its address and scope, and the identity of the issuing thread (thread,
+warp, block) plus the warp's *active mask* at that instant (section 6.3
+uses the active mask for lock-protocol inference; the coalescing
+optimization of section 6.5 uses it too).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.gpu.ids import ThreadLocation
+from repro.gpu.instructions import AtomicOp, Scope
+
+
+class AccessKind(enum.Enum):
+    """Classification of a memory access."""
+
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+
+    @property
+    def is_write(self) -> bool:
+        """Atomics are treated as (special) stores by iGUARD (section 6.4)."""
+        return self is not AccessKind.LOAD
+
+
+class SyncKind(enum.Enum):
+    """Classification of a synchronization operation."""
+
+    SYNCTHREADS = "syncthreads"
+    SYNCWARP = "syncwarp"
+    FENCE = "fence"
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One dynamic load/store/atomic by one thread.
+
+    Attributes:
+        kind: load / store / atomic.
+        address: byte address of the 4-byte word accessed.
+        where: issuing thread's position in the hierarchy.
+        ip: source location of the instruction (file:line), the analogue of
+            the SASS instruction pointer iGUARD reports for races.
+        active_mask: lanes of the warp executing this instruction together
+            (the convergence group the scheduler batched).
+        scope: atomic scope (atomics only).
+        atomic_op: which read-modify-write (atomics only).
+        value_stored: value written (stores/atomics).
+        value_loaded: value observed (loads/atomics, filled post-execution).
+        batch: monotonically increasing id of the scheduler batch this event
+            executed in; accesses sharing a batch ran "simultaneously".
+    """
+
+    kind: AccessKind
+    address: int
+    where: ThreadLocation
+    ip: str
+    active_mask: FrozenSet[int]
+    scope: Scope = Scope.DEVICE
+    atomic_op: Optional[AtomicOp] = None
+    value_stored: object = None
+    value_loaded: object = None
+    compare: object = None
+    batch: int = 0
+
+    @property
+    def cas_succeeded(self) -> bool:
+        """Whether a CAS atomically swapped (old value matched compare)."""
+        return self.atomic_op is AtomicOp.CAS and self.value_loaded == self.compare
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.is_write
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One dynamic synchronization operation by one thread."""
+
+    kind: SyncKind
+    where: ThreadLocation
+    ip: str
+    active_mask: FrozenSet[int]
+    scope: Scope = Scope.DEVICE
+    batch: int = 0

@@ -1,0 +1,264 @@
+"""The instruction set of the kernel DSL.
+
+Kernels in this reproduction are Python generator functions; every
+interaction with the simulated machine is expressed by ``yield``-ing one of
+the instruction objects below.  The set mirrors what iGUARD instruments on
+real hardware (section 5): loads, stores, atomics (with scope qualifiers),
+scoped threadfences, threadblock barriers (``syncthreads``) and warp
+barriers (``syncwarp``), plus a ``Compute`` pseudo-instruction that models
+arithmetic work for the cost model.
+
+Convenience constructors (``load``, ``atomic_add``, ...) accept a
+:class:`~repro.gpu.memory.GlobalArray` plus an element index, which keeps
+kernel code close to CUDA source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Scope(enum.IntEnum):
+    """Synchronization scope qualifiers (section 2.1).
+
+    CUDA offers ``block``, ``device`` and ``system`` scopes; like the paper
+    we focus on a single GPU and treat ``system`` as ``device``.
+    """
+
+    BLOCK = 0
+    DEVICE = 1
+    SYSTEM = 2
+
+    @property
+    def effective(self) -> "Scope":
+        """System scope collapses to device scope on a single GPU."""
+        return Scope.DEVICE if self is Scope.SYSTEM else self
+
+    def covers(self, other: "Scope") -> bool:
+        """Whether this scope is at least as wide as ``other``."""
+        return self.effective >= other.effective
+
+
+class AtomicOp(enum.Enum):
+    """Read-modify-write operations supported by :class:`Atomic`."""
+
+    ADD = "add"
+    SUB = "sub"
+    EXCH = "exch"
+    CAS = "cas"
+    MIN = "min"
+    MAX = "max"
+    OR = "or"
+    AND = "and"
+    XOR = "xor"
+
+
+class Instruction:
+    """Base class for everything a kernel may ``yield``."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Load(Instruction):
+    """Read 4 bytes of global memory; the yield evaluates to the value."""
+
+    address: int
+
+
+@dataclass
+class Store(Instruction):
+    """Write 4 bytes of global memory."""
+
+    address: int
+    value: object
+
+
+@dataclass
+class Atomic(Instruction):
+    """A scoped read-modify-write; the yield evaluates to the *old* value.
+
+    ``compare`` is only meaningful for :attr:`AtomicOp.CAS`.
+    """
+
+    op: AtomicOp
+    address: int
+    value: object
+    scope: Scope = Scope.DEVICE
+    compare: Optional[object] = None
+
+
+@dataclass
+class Fence(Instruction):
+    """A scoped ``__threadfence``.
+
+    ``Fence(Scope.BLOCK)`` is ``__threadfence_block()``;
+    ``Fence(Scope.DEVICE)`` is ``__threadfence()``.
+    """
+
+    scope: Scope = Scope.DEVICE
+
+
+@dataclass
+class Syncthreads(Instruction):
+    """The threadblock barrier ``__syncthreads()``.
+
+    Includes the effect of a block-scope fence (section 3.1: "threadblock
+    barriers include the effect of a block-scope fence").
+    """
+
+
+@dataclass
+class Syncwarp(Instruction):
+    """The warp barrier ``__syncwarp(mask)``.
+
+    ``mask`` is a bitmask of participating lanes; ``None`` means all live
+    lanes of the warp.
+    """
+
+    mask: Optional[int] = None
+
+
+@dataclass
+class Compute(Instruction):
+    """Pure arithmetic work: consumes ``cycles`` in the cost model.
+
+    Lets workloads declare their compute intensity, which drives the
+    native-to-instrumented overhead ratios of Figure 11 (compute-heavy
+    kernels such as rule-110 see only 2-3x overhead).
+    """
+
+    cycles: int = 1
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used by workloads and examples.
+# ---------------------------------------------------------------------------
+
+
+def _addr(array, index: int) -> int:
+    """Resolve an (array, element index) pair to a byte address."""
+    return array.addr_of(index)
+
+
+def load(array, index: int) -> Load:
+    """``array[index]`` as a global-memory load."""
+    return Load(_addr(array, index))
+
+
+def store(array, index: int, value) -> Store:
+    """``array[index] = value`` as a global-memory store."""
+    return Store(_addr(array, index), value)
+
+
+def atomic_add(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicAdd(&array[index], value)`` with an optional scope."""
+    return Atomic(AtomicOp.ADD, _addr(array, index), value, scope)
+
+
+def atomic_sub(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicSub(&array[index], value)``."""
+    return Atomic(AtomicOp.SUB, _addr(array, index), value, scope)
+
+
+def atomic_max(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicMax(&array[index], value)``."""
+    return Atomic(AtomicOp.MAX, _addr(array, index), value, scope)
+
+
+def atomic_min(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicMin(&array[index], value)``."""
+    return Atomic(AtomicOp.MIN, _addr(array, index), value, scope)
+
+
+def atomic_or(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicOr(&array[index], value)``."""
+    return Atomic(AtomicOp.OR, _addr(array, index), value, scope)
+
+
+def atomic_and(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicAnd(&array[index], value)``."""
+    return Atomic(AtomicOp.AND, _addr(array, index), value, scope)
+
+
+def atomic_cas(array, index: int, compare, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicCAS(&array[index], compare, value)``.
+
+    iGUARD treats an ``atomicCAS`` followed by a threadfence as a lock
+    acquire (section 6.3).
+    """
+    return Atomic(AtomicOp.CAS, _addr(array, index), value, scope, compare=compare)
+
+
+def atomic_exch(array, index: int, value, scope: Scope = Scope.DEVICE) -> Atomic:
+    """``atomicExch(&array[index], value)``.
+
+    A threadfence followed by ``atomicExch`` is inferred as a lock release.
+    """
+    return Atomic(AtomicOp.EXCH, _addr(array, index), value, scope)
+
+
+def atomic_load(array, index: int, scope: Scope = Scope.DEVICE) -> Atomic:
+    """An atomic read: ``atomicAdd(&array[index], 0)``.
+
+    The idiomatic way GPU code polls synchronization flags and counters
+    (often spelled as a ``volatile`` load in CUDA source).  Modeled as a
+    zero-add so the detector sees it as an atomic access — which is what
+    makes flag spins race-free under check P6.
+    """
+    return Atomic(AtomicOp.ADD, _addr(array, index), 0, scope)
+
+
+def fence(scope: Scope = Scope.DEVICE) -> Fence:
+    """A scoped threadfence."""
+    return Fence(scope)
+
+
+def fence_block() -> Fence:
+    """``__threadfence_block()``."""
+    return Fence(Scope.BLOCK)
+
+
+def fence_device() -> Fence:
+    """``__threadfence()``."""
+    return Fence(Scope.DEVICE)
+
+
+def syncthreads() -> Syncthreads:
+    """``__syncthreads()``."""
+    return Syncthreads()
+
+
+def syncwarp(mask: Optional[int] = None) -> Syncwarp:
+    """``__syncwarp(mask)``."""
+    return Syncwarp(mask)
+
+
+def compute(cycles: int = 1) -> Compute:
+    """Declare ``cycles`` of arithmetic work."""
+    return Compute(cycles)
+
+
+def apply_atomic(op: AtomicOp, old, value, compare=None):
+    """Compute the new memory value of an atomic read-modify-write."""
+    if op is AtomicOp.ADD:
+        return old + value
+    if op is AtomicOp.SUB:
+        return old - value
+    if op is AtomicOp.EXCH:
+        return value
+    if op is AtomicOp.CAS:
+        return value if old == compare else old
+    if op is AtomicOp.MIN:
+        return min(old, value)
+    if op is AtomicOp.MAX:
+        return max(old, value)
+    if op is AtomicOp.OR:
+        return old | value
+    if op is AtomicOp.AND:
+        return old & value
+    if op is AtomicOp.XOR:
+        return old ^ value
+    raise ValueError(f"unknown atomic op: {op}")

@@ -1,0 +1,257 @@
+"""Simulated GPU global memory.
+
+The paper's races flow through the GPU's *global* memory (tens of GBs), as
+opposed to the per-SM scratchpad that earlier detectors covered.  This
+module provides:
+
+- :class:`GlobalMemory` — a word-addressed (4 bytes per word, matching
+  iGUARD's default metadata granularity) memory with a bump allocator that
+  plays the role of ``cudaMalloc`` and tracks the device's free capacity
+  (iGUARD instruments allocations to decide how much metadata to pre-fault,
+  section 6.1);
+- :class:`GlobalArray` — a typed view over an allocation, used by kernels;
+- an optional *weak visibility* mode, where stores and block-scoped atomics
+  land in a per-threadblock store buffer until a device-scope fence or
+  atomic publishes them.  This coarse model lets scoped races (section 3.1)
+  actually produce stale values in examples; the race detector itself never
+  depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import InvalidAddressError, OutOfMemoryError
+from repro.gpu.instructions import AtomicOp, Scope, apply_atomic
+
+WORD_BYTES = 4
+_BASE_ADDRESS = 0x1000
+
+
+@dataclass
+class Allocation:
+    """One ``cudaMalloc``-style allocation."""
+
+    name: str
+    base: int
+    num_words: int
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_words * WORD_BYTES
+
+    @property
+    def end(self) -> int:
+        return self.base + self.num_bytes
+
+
+class GlobalArray:
+    """A kernel-visible view of an allocation, indexed by 4-byte element."""
+
+    __slots__ = ("memory", "allocation")
+
+    def __init__(self, memory: "GlobalMemory", allocation: Allocation):
+        self.memory = memory
+        self.allocation = allocation
+
+    def __len__(self) -> int:
+        return self.allocation.num_words
+
+    @property
+    def name(self) -> str:
+        return self.allocation.name
+
+    @property
+    def base(self) -> int:
+        return self.allocation.base
+
+    def addr_of(self, index: int) -> int:
+        """Byte address of element ``index``; bounds-checked."""
+        if not 0 <= index < self.allocation.num_words:
+            raise InvalidAddressError(
+                f"index {index} out of bounds for {self.name}[{len(self)}]"
+            )
+        return self.allocation.base + index * WORD_BYTES
+
+    # Host-side (CPU) accessors: read/write memory outside kernel execution,
+    # the analogue of cudaMemcpy.  They bypass store buffers deliberately.
+
+    def read(self, index: int):
+        """Host-side read of one element (flushes nothing)."""
+        return self.memory.host_read(self.addr_of(index))
+
+    def write(self, index: int, value) -> None:
+        """Host-side write of one element."""
+        self.memory.host_write(self.addr_of(index), value)
+
+    def to_list(self) -> List:
+        """Host-side snapshot of the whole array."""
+        return [self.read(i) for i in range(len(self))]
+
+    def fill(self, value) -> None:
+        """Host-side ``cudaMemset``-style fill."""
+        for i in range(len(self)):
+            self.write(i, value)
+
+    def load_list(self, values) -> None:
+        """Host-side bulk copy into the array (``cudaMemcpy`` H2D)."""
+        for i, value in enumerate(values):
+            self.write(i, value)
+
+
+class GlobalMemory:
+    """Word-granular global memory with a bump allocator.
+
+    When ``weak_visibility`` is enabled, plain stores and block-scoped
+    atomics are buffered per threadblock and only become globally visible
+    when that block executes a device-scope fence or atomic (or at kernel
+    end).  Reads consult the reader's own block buffer first, then the
+    backing store — so an insufficiently-scoped producer/consumer pair can
+    observe stale data, like the work-stealing bug of Figure 1.
+    """
+
+    def __init__(self, capacity_bytes: int, weak_visibility: bool = False):
+        self.capacity_bytes = capacity_bytes
+        self.weak_visibility = weak_visibility
+        self._backing: Dict[int, object] = {}
+        self._block_buffers: Dict[int, Dict[int, object]] = {}
+        self._allocations: List[Allocation] = []
+        self._bump = _BASE_ADDRESS
+        self._bytes_allocated = 0
+        #: Callbacks invoked on each allocation; iGUARD hooks these the way
+        #: the real tool instruments cudaMalloc (section 6.1).
+        self.alloc_hooks: List[Callable[[Allocation], None]] = []
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Bytes currently reserved by the application."""
+        return self._bytes_allocated
+
+    @property
+    def bytes_free(self) -> int:
+        """Device capacity not yet claimed by application allocations."""
+        return self.capacity_bytes - self._bytes_allocated
+
+    def alloc(self, name: str, num_words: int, init=0) -> GlobalArray:
+        """Allocate ``num_words`` 4-byte elements, initialized to ``init``.
+
+        Raises :class:`OutOfMemoryError` when the device capacity is
+        exhausted, like ``cudaMalloc`` returning ``cudaErrorMemoryAllocation``.
+        """
+        num_bytes = num_words * WORD_BYTES
+        if num_bytes > self.bytes_free:
+            raise OutOfMemoryError(
+                f"alloc of {num_bytes} bytes for {name!r} exceeds free "
+                f"device memory ({self.bytes_free} bytes left)"
+            )
+        allocation = Allocation(name=name, base=self._bump, num_words=num_words)
+        self._bump = allocation.end + WORD_BYTES  # red zone between allocations
+        self._bytes_allocated += num_bytes
+        self._allocations.append(allocation)
+        array = GlobalArray(self, allocation)
+        if init is not None:
+            for i in range(num_words):
+                self._backing[array.addr_of(i)] = init
+        for hook in self.alloc_hooks:
+            hook(allocation)
+        return array
+
+    def allocations(self) -> List[Allocation]:
+        """All live allocations, in allocation order."""
+        return list(self._allocations)
+
+    def owner_of(self, address: int) -> Optional[Allocation]:
+        """The allocation containing ``address``, if any."""
+        for allocation in self._allocations:
+            if allocation.base <= address < allocation.end:
+                return allocation
+        return None
+
+    def describe(self, address: int) -> str:
+        """Human-readable ``name[index]`` form of an address, for reports."""
+        allocation = self.owner_of(address)
+        if allocation is None:
+            return f"0x{address:x}"
+        index = (address - allocation.base) // WORD_BYTES
+        return f"{allocation.name}[{index}]"
+
+    # ------------------------------------------------------------------
+    # Device-side accesses (called by the scheduler on behalf of threads)
+    # ------------------------------------------------------------------
+
+    def _check(self, address: int) -> None:
+        if address % WORD_BYTES:
+            raise InvalidAddressError(f"unaligned access at 0x{address:x}")
+        if address not in self._backing and self.owner_of(address) is None:
+            raise InvalidAddressError(f"wild access at 0x{address:x}")
+
+    def device_load(self, address: int, block_id: int):
+        """A thread of ``block_id`` loads ``address``."""
+        self._check(address)
+        if self.weak_visibility:
+            buffered = self._block_buffers.get(block_id)
+            if buffered is not None and address in buffered:
+                return buffered[address]
+        return self._backing.get(address, 0)
+
+    def device_store(self, address: int, value, block_id: int) -> None:
+        """A thread of ``block_id`` stores ``value`` to ``address``."""
+        self._check(address)
+        if self.weak_visibility:
+            self._block_buffers.setdefault(block_id, {})[address] = value
+        else:
+            self._backing[address] = value
+
+    def device_atomic(
+        self,
+        op: AtomicOp,
+        address: int,
+        value,
+        block_id: int,
+        scope: Scope = Scope.DEVICE,
+        compare=None,
+    ):
+        """A scoped atomic read-modify-write; returns the old value."""
+        self._check(address)
+        if self.weak_visibility and scope.effective is Scope.BLOCK:
+            buffer = self._block_buffers.setdefault(block_id, {})
+            old = buffer.get(address, self._backing.get(address, 0))
+            buffer[address] = apply_atomic(op, old, value, compare)
+            return old
+        if self.weak_visibility:
+            # A device-scope atomic publishes this block's pending writes
+            # (it acts as a synchronization point for the block's buffer).
+            self.flush_block(block_id)
+        old = self._backing.get(address, 0)
+        self._backing[address] = apply_atomic(op, old, value, compare)
+        return old
+
+    def flush_block(self, block_id: int) -> None:
+        """Publish a block's buffered writes (device-scope fence effect)."""
+        buffered = self._block_buffers.pop(block_id, None)
+        if buffered:
+            self._backing.update(buffered)
+
+    def flush_all(self) -> None:
+        """Publish every block's buffered writes (kernel completion)."""
+        for block_id in list(self._block_buffers):
+            self.flush_block(block_id)
+
+    # ------------------------------------------------------------------
+    # Host-side accesses
+    # ------------------------------------------------------------------
+
+    def host_read(self, address: int):
+        """Read from the backing store, as the CPU would after kernel end."""
+        self._check(address)
+        return self._backing.get(address, 0)
+
+    def host_write(self, address: int, value) -> None:
+        """Write to the backing store from the host."""
+        self._check(address)
+        self._backing[address] = value

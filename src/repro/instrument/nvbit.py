@@ -1,0 +1,79 @@
+"""Tool interface: the reproduction's NVBit.
+
+NVBit lets a tool observe and extend every SASS instruction of a running
+CUDA binary without recompilation.  Here, the simulated
+:class:`~repro.gpu.device.Device` plays the role of the instrumented GPU:
+any number of :class:`Tool` objects can be attached to it, and their
+callbacks fire on the same occasions iGUARD's injected functions do —
+memory accesses, synchronization operations, kernel launch boundaries, and
+``cudaMalloc`` calls (which iGUARD intercepts to budget metadata
+pre-faulting, section 6.1).
+
+A tool charges its own runtime into ``launch.timing`` using the Figure 13
+categories; a tool that charges nothing is a zero-overhead observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.instrument.timing import TimingBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.gpu.device import Device
+    from repro.gpu.events import MemoryEvent, SyncEvent
+    from repro.gpu.memory import Allocation
+
+
+@dataclass
+class LaunchInfo:
+    """Everything a tool may need to know about one kernel launch."""
+
+    kernel_name: str
+    grid_dim: int
+    block_dim: int
+    warp_size: int
+    warps_per_block: int
+    num_threads: int
+    timing: TimingBreakdown
+    device: "Device"
+    seed: int = 0
+    static_instruction_count: int = 0
+
+    @property
+    def num_warps(self) -> int:
+        return self.grid_dim * self.warps_per_block
+
+
+class Tool:
+    """Base class for instrumentation tools; all callbacks default to no-ops.
+
+    Subclasses: :class:`repro.core.detector.IGuard`,
+    :class:`repro.baselines.barracuda.Barracuda`, and the test utilities.
+    """
+
+    #: Human-readable tool name used in experiment output.
+    name: str = "tool"
+
+    def attach(self, device: "Device") -> None:
+        """Called when the tool is registered with a device."""
+
+    def on_alloc(self, allocation: "Allocation") -> None:
+        """Called on each application ``cudaMalloc`` (section 6.1)."""
+
+    def on_launch_begin(self, launch: LaunchInfo) -> None:
+        """Called before the first instruction of a kernel executes."""
+
+    def on_memory(self, event: "MemoryEvent", launch: LaunchInfo) -> None:
+        """Called after every load/store/atomic."""
+
+    def on_sync(self, event: "SyncEvent", launch: LaunchInfo) -> None:
+        """Called after every fence and on each barrier completion."""
+
+    def on_launch_end(self, launch: LaunchInfo) -> None:
+        """Called after the kernel finishes (all threads done)."""
+
+    def on_timeout(self, launch: LaunchInfo) -> None:
+        """Called when the step budget expires (the paper's timeout path:
+        detected races are flushed to the CPU before termination)."""

@@ -1,0 +1,26 @@
+"""The evaluation workloads (Tables 4 and 5).
+
+The paper evaluates on 42 workloads drawn from ten suites; half contain
+global-memory races (Table 4, 57 races total) and half are race-free
+(Table 5, the false-positive check).  Every workload is re-implemented
+here over the kernel DSL with the same algorithmic skeleton and — for the
+racy ones — the same number and types of seeded synchronization bugs.
+
+Use :data:`repro.workloads.registry.REGISTRY` to enumerate them and
+:func:`repro.workloads.runner.run_workload` to execute one under a
+detector.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.registry import REGISTRY, get_workload, racy_workloads, racefree_workloads
+from repro.workloads.runner import run_workload
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "REGISTRY",
+    "get_workload",
+    "racy_workloads",
+    "racefree_workloads",
+    "run_workload",
+]

@@ -1,0 +1,243 @@
+"""The CG workload suite: NVIDIA Cooperative-Groups example applications.
+
+Three applications from NVIDIA's CG samples (section 7's CG suite):
+
+- **conjugGMB** — multi-block conjugate-gradient style solver.  Uses the
+  *racy* grid synchronization, so per-thread vector updates are not
+  visible across the barrier: 1 CG-induced DR race.  It also makes every
+  thread spin on a shared convergence flag — the paper calls out exactly
+  this ("launches many threads that synchronize by spinning on a shared
+  variable") as the reason its unoptimized metadata contention reached
+  706x (Figure 12).
+- **reduceMB** — the paper's Figure 3: a multi-block reduction that syncs
+  a *threadblock* where the whole *grid* must synchronize: 1 CG DR race.
+- **warpAA** — warp-aggregated atomics, race-free (Table 5), but all
+  warps hammer one global counter: a Figure 12 contention workload.
+
+All three use block-scope atomics for their intra-block aggregation (the
+fast idiom CG encourages), which is why Barracuda cannot run this suite.
+"""
+
+from __future__ import annotations
+
+from repro.cg import GridBarrier, this_grid
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    Scope,
+    atomic_add,
+    atomic_load,
+    compute,
+    load,
+    store,
+    syncthreads,
+    syncwarp,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import signal, wait_for
+
+
+# ---------------------------------------------------------------------------
+# conjugGMB
+# ---------------------------------------------------------------------------
+
+
+def _conjug_gmb_kernel(ctx, barrier_state, x, r, dot, blocksum, converged, iters, racy=True):
+    tid = ctx.tid
+    grid = this_grid(ctx, GridBarrier(barrier_state))
+
+    for it in range(iters):
+        # Real work: axpy-style vector update (thread-private slots).
+        xv = yield load(x, tid)
+        rv = yield load(r, tid)
+        yield compute(10)
+        yield store(x, tid, xv + rv)
+
+        # Block-level partial dot product via block-scope atomics (the
+        # fast idiom; this is what makes the suite Barracuda-incompatible).
+        yield atomic_add(blocksum, ctx.block_id, xv * rv, scope=Scope.BLOCK)
+        yield syncthreads()
+        if ctx.tid_in_block == 0:
+            part = yield load(blocksum, ctx.block_id)
+            yield atomic_add(dot, it, part)
+
+        # Everyone spins until the leader declares the iteration converged
+        # — thousands of threads polling one word (Figure 12's hotspot).
+        if ctx.tid == 0:
+            yield atomic_add(converged, 0, 1)
+        while (yield atomic_load(converged, 0)) < it + 1:
+            pass
+
+        # The buggy grid-wide barrier: only block leaders fence, so the
+        # x[] updates by non-leaders are unordered across the barrier.
+        # (The fixed variant uses the corrected barrier here too.)
+        if racy:
+            yield from grid.sync_racy()
+        else:
+            yield from grid.sync()
+
+        # Read a neighbour's vector element from the other block.
+        nbr = (tid + ctx.block_dim) % ctx.num_threads
+        nv = yield load(x, nbr)  # RACE (CG/DR): racy grid sync
+        yield store(r, tid, nv)
+        yield from grid.sync()  # correct barrier before the next iteration
+
+
+def run_conjug_gmb(device: Device, seed: int, racy: bool = True) -> None:
+    """Host driver: 4 blocks x 32 threads, 2 solver iterations."""
+    grid_dim, block_dim, iters = 4, 32, 2
+    n = grid_dim * block_dim
+    barrier_state = device.alloc("grid_barrier", GridBarrier.NUM_WORDS, init=0)
+    x = device.alloc("x", n, init=1)
+    r = device.alloc("r", n, init=2)
+    dot = device.alloc("dot", iters, init=0)
+    blocksum = device.alloc("blocksum", grid_dim, init=0)
+    converged = device.alloc("converged", 1, init=0)
+    device.launch(
+        _conjug_gmb_kernel,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        args=(barrier_state, x, r, dot, blocksum, converged, iters, racy),
+        seed=seed,
+        max_batches=400_000,
+    )
+
+
+def run_conjug_gmb_fixed(device: Device, seed: int) -> None:
+    """conjugGMB with the corrected grid barrier (race-free)."""
+    run_conjug_gmb(device, seed, racy=False)
+
+
+# ---------------------------------------------------------------------------
+# reduceMB (Figure 3)
+# ---------------------------------------------------------------------------
+
+
+def _reduce_mb_kernel(ctx, data, partial, out, tally, flags, n):
+    tid = ctx.tid
+
+    # Real work: strided per-thread accumulation, then a barrier-ordered
+    # block combine by the block leader (race-free).  A block-scope atomic
+    # tally counts contributing threads — the cheap intra-block idiom.
+    total = 0
+    for i in range(tid, n, ctx.num_threads):
+        v = yield load(data, i)
+        total += v
+    yield store(partial, tid, total)
+    yield atomic_add(tally, ctx.block_id, 1, scope=Scope.BLOCK)
+    yield syncthreads()  # Figure 3's cg::sync(block) — should be grid-wide
+    if ctx.tid_in_block == 0:
+        acc = 0
+        for i in range(ctx.block_dim):
+            v = yield load(partial, ctx.block_id * ctx.block_dim + i)
+            acc += v
+        yield store(out, ctx.block_id, acc)
+        # Announce completion with no fence — the programmer wrongly
+        # assumes the block-level sync already published everything.
+        yield from signal(flags, 0)
+
+    # Thread 0 of the grid folds the per-block results — but only *its own
+    # block* was synchronized, so other blocks' partials race.
+    if tid == 0:
+        yield from wait_for(flags, 0, ctx.grid_dim)
+        acc = 0
+        for blk in range(1, ctx.grid_dim):
+            v = yield load(out, blk)  # RACE (CG/DR): block sync, grid needed
+            acc += v
+        own = yield load(out, 0)
+        yield store(out, 0, own + acc)
+
+
+def run_reduce_mb(device: Device, seed: int) -> None:
+    """Host driver: reduce 128 elements over 4 blocks of 16 threads."""
+    n = 128
+    data = device.alloc("data", n, init=1)
+    partial = device.alloc("partial", 64, init=0)
+    out = device.alloc("out", 4, init=0)
+    tally = device.alloc("tally", 4, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _reduce_mb_kernel,
+        grid_dim=4,
+        block_dim=16,
+        args=(data, partial, out, tally, flags, n),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# warpAA: warp-aggregated atomics (race-free, contention-heavy)
+# ---------------------------------------------------------------------------
+
+
+def _warp_aa_kernel(ctx, values, slots, blocktotal, counter, rounds):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    for round_ in range(rounds):
+        # Each lane deposits its value in the warp's slot row.
+        v = yield load(values, tid)
+        yield store(slots, ctx.warp_id * ctx.warp_size + lane, v + round_)
+        yield syncwarp()
+        # The warp leader aggregates and issues ONE atomic on behalf of
+        # the warp (warp-aggregated atomics), all warps to one counter.
+        if lane == 0:
+            agg = 0
+            for i in range(ctx.warp_size):
+                s = yield load(slots, ctx.warp_id * ctx.warp_size + i)
+                agg += s
+            yield atomic_add(counter, 0, agg)
+            yield atomic_add(blocktotal, ctx.block_id, agg, scope=Scope.BLOCK)
+        yield syncwarp()
+
+    yield syncthreads()
+    if ctx.tid_in_block == 0:
+        v = yield load(blocktotal, ctx.block_id)
+        yield store(slots, ctx.warp_id * ctx.warp_size, v)
+
+
+def run_warp_aa(device: Device, seed: int) -> None:
+    """Host driver: 4 blocks x 32 threads, 6 aggregation rounds."""
+    grid_dim, block_dim, rounds = 4, 32, 6
+    n = grid_dim * block_dim
+    values = device.alloc("values", n, init=1)
+    slots = device.alloc("slots", n, init=0)
+    blocktotal = device.alloc("blocktotal", grid_dim, init=0)
+    counter = device.alloc("counter", 1, init=0)
+    device.launch(
+        _warp_aa_kernel,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        args=(values, slots, blocktotal, counter, rounds),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="conjugGMB",
+        suite="CG",
+        run=run_conjug_gmb,
+        expected_races=1,
+        expected_types=frozenset({"DR"}),
+        cg_race=True,
+        contention_heavy=True,
+        description="multi-block conjugate gradient with racy grid sync",
+    ),
+    Workload(
+        name="reduceMB",
+        suite="CG",
+        run=run_reduce_mb,
+        expected_races=1,
+        expected_types=frozenset({"DR"}),
+        cg_race=True,
+        description="multi-block reduction synced at block granularity (Fig. 3)",
+    ),
+    Workload(
+        name="warpAA",
+        suite="CG",
+        run=run_warp_aa,
+        expected_races=0,
+        contention_heavy=True,
+        description="warp-aggregated atomics onto one counter (race-free)",
+    ),
+]

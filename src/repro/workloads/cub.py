@@ -1,0 +1,463 @@
+"""The CUB workloads: block- and device-wide primitive tests.
+
+CUB ("CUDA UnBound") is NVIDIA's collective-primitive library; Barracuda's
+and CURD's evaluations used its microbenchmarks, and iGUARD reuses them.
+Thirteen workloads:
+
+- **cub_gridbar** (racy, Table 4: 1 DR) — CUB's experimental grid barrier
+  had the same leader-only-fence defect as the CG library's grid sync;
+  iGUARD's report was acknowledged by the developers.
+- Twelve race-free tests (Table 5): block-wide ``b_reduce`` / ``b_scan`` /
+  ``b_radix_sort`` and device-wide ``d_reduce`` / ``d_scan`` /
+  ``d_radix_sort`` / select / partition / unique / sort+find, built on
+  :mod:`repro.workloads.cub_primitives`.  Device-wide versions span
+  multiple kernel launches, relying on the implicit all-thread barrier at
+  kernel completion — exactly how CUB's device layer composes its passes.
+"""
+
+from __future__ import annotations
+
+from repro.cg import GridBarrier, this_grid
+from repro.gpu.device import Device
+from repro.gpu.instructions import atomic_add, compute, load, store, syncthreads
+from repro.workloads.base import Workload
+from repro.workloads.cub_primitives import (
+    block_radix_sort,
+    block_reduce,
+    block_scan_exclusive,
+    block_scan_inclusive,
+    scratch_words_per_block,
+)
+
+_GRID, _BLOCK = 2, 16
+_N = _GRID * _BLOCK
+
+
+def _alloc_scratch(device: Device):
+    return device.alloc(
+        "cub_scratch", _GRID * scratch_words_per_block(_BLOCK), init=0
+    )
+
+
+def _input_values(n: int):
+    return [(i * 7 + 3) % 17 for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# cub_gridbar (racy)
+# ---------------------------------------------------------------------------
+
+
+def _cub_gridbar_kernel(ctx, barrier_state, scratch, data, out, racy=True):
+    tid = ctx.tid
+    grid = this_grid(ctx, GridBarrier(barrier_state))
+
+    # Real work: block-reduce the tile and write the thread's element.
+    v = yield load(data, tid)
+    total = yield from block_reduce(ctx, scratch, v)
+    yield store(data, tid, v + total)
+
+    # CUB's grid barrier with the leader-only fence (the fixed variant
+    # uses the corrected per-thread-fence barrier).
+    if racy:
+        yield from grid.sync_racy()
+    else:
+        yield from grid.sync()
+
+    # Read the other block's element: the write above was never fenced.
+    partner = (tid + ctx.block_dim) % ctx.num_threads
+    pv = yield load(data, partner)  # RACE (DR): CUB grid barrier bug
+    yield store(out, tid, pv)
+
+
+def run_cub_gridbar(device: Device, seed: int, racy: bool = True) -> None:
+    """Host driver for the grid-barrier test."""
+    barrier_state = device.alloc("grid_barrier", GridBarrier.NUM_WORDS, init=0)
+    scratch = _alloc_scratch(device)
+    data = device.alloc("data", _N, init=0)
+    data.load_list(_input_values(_N))
+    out = device.alloc("out", _N, init=0)
+    device.launch(
+        _cub_gridbar_kernel,
+        grid_dim=_GRID,
+        block_dim=_BLOCK,
+        args=(barrier_state, scratch, data, out, racy),
+        seed=seed,
+    )
+
+
+def run_cub_gridbar_fixed(device: Device, seed: int) -> None:
+    """cub_gridbar after the acknowledged fix (race-free)."""
+    run_cub_gridbar(device, seed, racy=False)
+
+
+# ---------------------------------------------------------------------------
+# Race-free block-wide tests
+# ---------------------------------------------------------------------------
+
+
+def _b_reduce_kernel(ctx, scratch, data, out):
+    v = yield load(data, ctx.tid)
+    total = yield from block_reduce(ctx, scratch, v)
+    if ctx.tid_in_block == 0:
+        yield store(out, ctx.block_id, total)
+
+
+def run_b_reduce(device: Device, seed: int) -> None:
+    scratch = _alloc_scratch(device)
+    data = device.alloc("data", _N, init=0)
+    data.load_list(_input_values(_N))
+    out = device.alloc("out", _GRID, init=0)
+    device.launch(_b_reduce_kernel, _GRID, _BLOCK, args=(scratch, data, out), seed=seed)
+    per_block = [
+        sum(_input_values(_N)[b * _BLOCK : (b + 1) * _BLOCK]) for b in range(_GRID)
+    ]
+    assert out.to_list() == per_block, "b_reduce produced a wrong sum"
+
+
+def _b_scan_kernel(ctx, scratch, data, out):
+    v = yield load(data, ctx.tid)
+    prefix = yield from block_scan_inclusive(ctx, scratch, v)
+    yield store(out, ctx.tid, prefix)
+
+
+def run_b_scan(device: Device, seed: int) -> None:
+    scratch = _alloc_scratch(device)
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    out = device.alloc("out", _N, init=0)
+    device.launch(_b_scan_kernel, _GRID, _BLOCK, args=(scratch, data, out), seed=seed)
+    expect = []
+    for b in range(_GRID):
+        acc = 0
+        for v in values[b * _BLOCK : (b + 1) * _BLOCK]:
+            acc += v
+            expect.append(acc)
+    assert out.to_list() == expect, "b_scan produced a wrong prefix sum"
+
+
+def _b_radix_sort_kernel(ctx, scratch, keys):
+    base = ctx.block_id * ctx.block_dim
+    yield from block_radix_sort(ctx, scratch, base, keys, key_bits=5)
+
+
+def run_b_radix_sort(device: Device, seed: int) -> None:
+    scratch = _alloc_scratch(device)
+    keys = device.alloc("keys", _N, init=0)
+    values = _input_values(_N)
+    keys.load_list(values)
+    device.launch(_b_radix_sort_kernel, _GRID, _BLOCK, args=(scratch, keys), seed=seed)
+    got = keys.to_list()
+    for b in range(_GRID):
+        tile = got[b * _BLOCK : (b + 1) * _BLOCK]
+        assert tile == sorted(values[b * _BLOCK : (b + 1) * _BLOCK]), "bad sort"
+
+
+# ---------------------------------------------------------------------------
+# Race-free device-wide tests (multi-kernel compositions)
+# ---------------------------------------------------------------------------
+
+
+def _partials_kernel(ctx, scratch, data, partials):
+    v = yield load(data, ctx.tid)
+    total = yield from block_reduce(ctx, scratch, v)
+    if ctx.tid_in_block == 0:
+        yield store(partials, ctx.block_id, total)
+
+
+def _fold_kernel(ctx, partials, out, count):
+    if ctx.tid == 0:
+        acc = 0
+        for i in range(count):
+            v = yield load(partials, i)
+            acc += v
+        yield store(out, 0, acc)
+
+
+def run_d_reduce(device: Device, seed: int) -> None:
+    """Device-wide reduce: block partials, then a fold kernel."""
+    scratch = _alloc_scratch(device)
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    partials = device.alloc("partials", _GRID, init=0)
+    out = device.alloc("out", 1, init=0)
+    device.launch(_partials_kernel, _GRID, _BLOCK, args=(scratch, data, partials), seed=seed)
+    device.launch(_fold_kernel, 1, _BLOCK, args=(partials, out, _GRID), seed=seed + 1)
+    assert out.read(0) == sum(values), "d_reduce produced a wrong sum"
+
+
+def _block_scan_phase_kernel(ctx, scratch, data, out, block_sums):
+    v = yield load(data, ctx.tid)
+    prefix = yield from block_scan_inclusive(ctx, scratch, v)
+    yield store(out, ctx.tid, prefix)
+    if ctx.tid_in_block == ctx.block_dim - 1:
+        yield store(block_sums, ctx.block_id, prefix)
+
+
+def _scan_sums_kernel(ctx, block_sums, offsets, count):
+    if ctx.tid == 0:
+        acc = 0
+        for i in range(count):
+            yield store(offsets, i, acc)
+            v = yield load(block_sums, i)
+            acc += v
+
+
+def _apply_offsets_kernel(ctx, out, offsets):
+    off = yield load(offsets, ctx.block_id)
+    v = yield load(out, ctx.tid)
+    yield store(out, ctx.tid, v + off)
+
+
+def run_d_scan(device: Device, seed: int) -> None:
+    """Device-wide scan: block scans + sums scan + offset application."""
+    scratch = _alloc_scratch(device)
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    out = device.alloc("out", _N, init=0)
+    block_sums = device.alloc("block_sums", _GRID, init=0)
+    offsets = device.alloc("offsets", _GRID, init=0)
+    device.launch(
+        _block_scan_phase_kernel, _GRID, _BLOCK,
+        args=(scratch, data, out, block_sums), seed=seed,
+    )
+    device.launch(_scan_sums_kernel, 1, _BLOCK, args=(block_sums, offsets, _GRID), seed=seed + 1)
+    device.launch(_apply_offsets_kernel, _GRID, _BLOCK, args=(out, offsets), seed=seed + 2)
+    expect, acc = [], 0
+    for v in values:
+        acc += v
+        expect.append(acc)
+    assert out.to_list() == expect, "d_scan produced a wrong prefix sum"
+
+
+def _sort_tile_kernel(ctx, scratch, keys):
+    base = ctx.block_id * ctx.block_dim
+    yield from block_radix_sort(ctx, scratch, base, keys, key_bits=5)
+
+
+def _merge_tiles_kernel(ctx, keys, merged, n):
+    # Single-thread two-tile merge: simple, and read-only on `keys`.
+    if ctx.tid == 0:
+        i, j = 0, n // 2
+        for k in range(n):
+            if i < n // 2 and (j >= n or (yield load(keys, i)) <= (yield load(keys, j))):
+                v = yield load(keys, i)
+                i += 1
+            else:
+                v = yield load(keys, j)
+                j += 1
+            yield store(merged, k, v)
+
+
+def run_d_radix_sort(device: Device, seed: int) -> None:
+    """Device-wide sort: per-block radix passes, then a merge kernel."""
+    scratch = _alloc_scratch(device)
+    keys = device.alloc("keys", _N, init=0)
+    values = _input_values(_N)
+    keys.load_list(values)
+    merged = device.alloc("merged", _N, init=0)
+    device.launch(_sort_tile_kernel, _GRID, _BLOCK, args=(scratch, keys), seed=seed)
+    device.launch(_merge_tiles_kernel, 1, _BLOCK, args=(keys, merged, _N), seed=seed + 1)
+    assert merged.to_list() == sorted(values), "d_radix_sort produced bad order"
+
+
+def _select_if_kernel(ctx, data, out, cursor, threshold):
+    v = yield load(data, ctx.tid)
+    yield compute(2)
+    if v >= threshold:
+        slot = yield atomic_add(cursor, 0, 1)
+        yield store(out, slot, v)
+
+
+def run_d_select_if(device: Device, seed: int) -> None:
+    """Device-wide select-if through an atomic output cursor."""
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    out = device.alloc("out", _N, init=-1)
+    cursor = device.alloc("cursor", 1, init=0)
+    device.launch(_select_if_kernel, _GRID, _BLOCK, args=(data, out, cursor, 9), seed=seed)
+    kept = sorted(v for v in values if v >= 9)
+    got = sorted(v for v in out.to_list() if v >= 0)
+    assert got == kept, "d_sel_if selected the wrong elements"
+
+
+def _select_flagged_kernel(ctx, data, flags_in, out, cursor):
+    v = yield load(data, ctx.tid)
+    f = yield load(flags_in, ctx.tid)
+    if f:
+        slot = yield atomic_add(cursor, 0, 1)
+        yield store(out, slot, v)
+
+
+def run_d_select_flagged(device: Device, seed: int) -> None:
+    """Device-wide select by a separate flags array."""
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    flags_in = device.alloc("flags_in", _N, init=0)
+    flag_values = [i % 3 == 0 for i in range(_N)]
+    flags_in.load_list([int(f) for f in flag_values])
+    out = device.alloc("out", _N, init=-1)
+    cursor = device.alloc("cursor", 1, init=0)
+    device.launch(
+        _select_flagged_kernel, _GRID, _BLOCK,
+        args=(data, flags_in, out, cursor), seed=seed,
+    )
+    kept = sorted(v for v, f in zip(values, flag_values) if f)
+    got = sorted(v for v in out.to_list() if v >= 0)
+    assert got == kept, "d_sel_flag selected the wrong elements"
+
+
+def _select_unique_kernel(ctx, data, out, cursor, n):
+    # Keep run heads: element differs from its predecessor (input is
+    # read-only, so neighbouring reads are race-free).
+    v = yield load(data, ctx.tid)
+    keep = ctx.tid == 0
+    if ctx.tid > 0:
+        prev = yield load(data, ctx.tid - 1)
+        keep = prev != v
+    if keep:
+        slot = yield atomic_add(cursor, 0, 1)
+        yield store(out, slot, v)
+
+
+def run_d_select_unique(device: Device, seed: int) -> None:
+    """Device-wide unique (run-length heads) over a sorted-ish input."""
+    data = device.alloc("data", _N, init=0)
+    values = sorted(_input_values(_N))
+    data.load_list(values)
+    out = device.alloc("out", _N, init=-1)
+    cursor = device.alloc("cursor", 1, init=0)
+    device.launch(_select_unique_kernel, _GRID, _BLOCK, args=(data, out, cursor, _N), seed=seed)
+    expect = sorted(set(values))
+    got = sorted(v for v in out.to_list() if v >= 0)
+    assert got == expect, "d_sel_uniq produced the wrong set"
+
+
+def _partition_if_kernel(ctx, data, out, accepted, rejected, threshold, n):
+    v = yield load(data, ctx.tid)
+    if v >= threshold:
+        slot = yield atomic_add(accepted, 0, 1)
+        yield store(out, slot, v)
+    else:
+        slot = yield atomic_add(rejected, 0, 1)
+        yield store(out, n - 1 - slot, v)
+
+
+def run_d_partition_if(device: Device, seed: int) -> None:
+    """Device-wide partition: accepted to the front, rejected to the back."""
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    out = device.alloc("out", _N, init=-1)
+    accepted = device.alloc("accepted", 1, init=0)
+    rejected = device.alloc("rejected", 1, init=0)
+    device.launch(
+        _partition_if_kernel, _GRID, _BLOCK,
+        args=(data, out, accepted, rejected, 9, _N), seed=seed,
+    )
+    n_accept = accepted.read(0)
+    got = out.to_list()
+    assert sorted(got[:n_accept]) == sorted(v for v in values if v >= 9)
+    assert sorted(got[n_accept:]) == sorted(v for v in values if v < 9)
+
+
+def _partition_flagged_kernel(ctx, data, flags_in, out, accepted, rejected, n):
+    v = yield load(data, ctx.tid)
+    f = yield load(flags_in, ctx.tid)
+    if f:
+        slot = yield atomic_add(accepted, 0, 1)
+        yield store(out, slot, v)
+    else:
+        slot = yield atomic_add(rejected, 0, 1)
+        yield store(out, n - 1 - slot, v)
+
+
+def run_d_partition_flagged(device: Device, seed: int) -> None:
+    """Device-wide partition by a flags array."""
+    data = device.alloc("data", _N, init=0)
+    values = _input_values(_N)
+    data.load_list(values)
+    flags_in = device.alloc("flags_in", _N, init=0)
+    flag_values = [i % 2 == 0 for i in range(_N)]
+    flags_in.load_list([int(f) for f in flag_values])
+    out = device.alloc("out", _N, init=-1)
+    accepted = device.alloc("accepted", 1, init=0)
+    rejected = device.alloc("rejected", 1, init=0)
+    device.launch(
+        _partition_flagged_kernel, _GRID, _BLOCK,
+        args=(data, flags_in, out, accepted, rejected, _N), seed=seed,
+    )
+    n_accept = accepted.read(0)
+    got = out.to_list()
+    assert sorted(got[:n_accept]) == sorted(v for v, f in zip(values, flag_values) if f)
+
+
+def _find_kernel(ctx, keys, found, needle, n):
+    # Binary search per thread over the (read-only) sorted tile.
+    if ctx.tid == 0:
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            v = yield load(keys, mid)
+            if v < needle:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield store(found, 0, lo)
+
+
+def run_d_sort_find(device: Device, seed: int) -> None:
+    """Sort (block passes + merge), then binary-search a needle."""
+    scratch = _alloc_scratch(device)
+    keys = device.alloc("keys", _N, init=0)
+    values = _input_values(_N)
+    keys.load_list(values)
+    merged = device.alloc("merged", _N, init=0)
+    found = device.alloc("found", 1, init=-1)
+    device.launch(_sort_tile_kernel, _GRID, _BLOCK, args=(scratch, keys), seed=seed)
+    device.launch(_merge_tiles_kernel, 1, _BLOCK, args=(keys, merged, _N), seed=seed + 1)
+    device.launch(_find_kernel, 1, _BLOCK, args=(merged, found, 10, _N), seed=seed + 2)
+    expect = sorted(values)
+    import bisect
+    assert found.read(0) == bisect.bisect_left(expect, 10), "d_sort_find missed"
+
+
+WORKLOADS = [
+    Workload(
+        name="cub_gridbar",
+        suite="CUB",
+        run=run_cub_gridbar,
+        expected_races=1,
+        expected_types=frozenset({"DR"}),
+        description="CUB experimental grid barrier missing per-thread fence",
+    ),
+    Workload(name="b_reduce", suite="CUB", run=run_b_reduce,
+             description="block-wide reduction (race-free)"),
+    Workload(name="b_scan", suite="CUB", run=run_b_scan,
+             description="block-wide inclusive scan (race-free)"),
+    Workload(name="b_radix_sort", suite="CUB", run=run_b_radix_sort,
+             description="block-wide radix sort (race-free)"),
+    Workload(name="d_reduce", suite="CUB", run=run_d_reduce,
+             description="device-wide reduction, two kernels (race-free)"),
+    Workload(name="d_scan", suite="CUB", run=run_d_scan,
+             description="device-wide scan, three kernels (race-free)"),
+    Workload(name="d_radix_sort", suite="CUB", run=run_d_radix_sort,
+             description="device-wide sort: tile sorts + merge (race-free)"),
+    Workload(name="d_sel_if", suite="CUB", run=run_d_select_if,
+             description="device-wide select-if via atomic cursor (race-free)"),
+    Workload(name="d_sel_flag", suite="CUB", run=run_d_select_flagged,
+             description="device-wide select by flags (race-free)"),
+    Workload(name="d_sel_uniq", suite="CUB", run=run_d_select_unique,
+             description="device-wide unique (race-free)"),
+    Workload(name="d_part_if", suite="CUB", run=run_d_partition_if,
+             description="device-wide partition-if (race-free)"),
+    Workload(name="d_part_flag", suite="CUB", run=run_d_partition_flagged,
+             description="device-wide partition by flags (race-free)"),
+    Workload(name="d_sort_find", suite="CUB", run=run_d_sort_find,
+             description="sort then binary search (race-free)"),
+]

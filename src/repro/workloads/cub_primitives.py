@@ -1,0 +1,102 @@
+"""Block-level collective primitives, in the style of NVIDIA CUB.
+
+CUB ships block-wide collectives (``BlockReduce``, ``BlockScan``,
+``BlockRadixSort``) built from scratchpad traffic and ``__syncthreads``.
+These are the kernels the paper's CUB workloads exercise; the Table 5 ones
+must be *race-free under the detector*, which makes this module a good
+stress test of the preliminary checks (every cross-thread handoff below is
+ordered by a block barrier, i.e. must pass P5).
+
+All primitives are generator subroutines used with ``yield from``; each
+returns its result via the generator return value::
+
+    total = yield from block_reduce(ctx, scratch, value)
+
+``scratch`` is a global array with ``scratch_words_per_block(block_dim)``
+words available per block (indexed through the block's private base).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.instructions import load, store, syncthreads
+
+
+def scratch_words_per_block(block_dim: int) -> int:
+    """Scratch capacity one block needs for any primitive in this module."""
+    return 2 * block_dim + 2
+
+
+def _base(ctx) -> int:
+    return ctx.block_id * scratch_words_per_block(ctx.block_dim)
+
+
+def block_reduce(ctx, scratch, value):
+    """Block-wide sum; every thread receives the total.
+
+    Pattern: deposit -> barrier -> leader folds -> barrier -> broadcast.
+    """
+    base = _base(ctx)
+    me = ctx.tid_in_block
+    yield store(scratch, base + me, value)
+    yield syncthreads()
+    if me == 0:
+        total = 0
+        for i in range(ctx.block_dim):
+            v = yield load(scratch, base + i)
+            total += v
+        yield store(scratch, base + ctx.block_dim, total)
+    yield syncthreads()
+    total = yield load(scratch, base + ctx.block_dim)
+    return total
+
+
+def block_scan_inclusive(ctx, scratch, value):
+    """Block-wide inclusive prefix sum (Hillis-Steele, double-buffered)."""
+    base = _base(ctx)
+    me = ctx.tid_in_block
+    bufs = (base, base + ctx.block_dim)
+    cur = 0
+    yield store(scratch, bufs[cur] + me, value)
+    yield syncthreads()
+    offset = 1
+    while offset < ctx.block_dim:
+        v = yield load(scratch, bufs[cur] + me)
+        if me >= offset:
+            left = yield load(scratch, bufs[cur] + me - offset)
+            v += left
+        nxt = 1 - cur
+        yield store(scratch, bufs[nxt] + me, v)
+        yield syncthreads()
+        cur = nxt
+        offset *= 2
+    result = yield load(scratch, bufs[cur] + me)
+    return result
+
+
+def block_scan_exclusive(ctx, scratch, value):
+    """Block-wide exclusive prefix sum."""
+    inclusive = yield from block_scan_inclusive(ctx, scratch, value)
+    return inclusive - value
+
+
+def block_radix_sort(ctx, scratch, keys_base, keys, key_bits: int):
+    """Stable LSD radix sort of one key per thread, within the block.
+
+    ``keys`` is the global array holding the block's tile starting at
+    element ``keys_base + tid_in_block``.  Returns the thread's sorted key.
+    """
+    base = _base(ctx)
+    me = ctx.tid_in_block
+    key = yield load(keys, keys_base + me)
+    for bit in range(key_bits):
+        flag = (key >> bit) & 1
+        # Rank the zeros, then the ones after them (stable partition).
+        zeros_before = yield from block_scan_exclusive(ctx, scratch, 1 - flag)
+        total_zeros = yield from block_reduce(ctx, scratch, 1 - flag)
+        ones_before = yield from block_scan_exclusive(ctx, scratch, flag)
+        rank = zeros_before if flag == 0 else total_zeros + ones_before
+        yield store(keys, keys_base + rank, key)
+        yield syncthreads()
+        key = yield load(keys, keys_base + me)
+        yield syncthreads()
+    return key

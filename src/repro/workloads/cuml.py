@@ -1,0 +1,84 @@
+"""cuML: the grid-sync race in RAPIDS cuML (acknowledged by developers).
+
+The paper reports that cuML's grid synchronization had the same
+leader-only-fence defect as NVIDIA's CG library (section 7.1: "iGUARD
+caught similar races in cuML's and CUB's grid sync implementation, which
+developers have acknowledged").  ``cuML_gsync`` reproduces the pattern
+inside a k-means-style centroid update: per-thread partial centroid sums
+are written before the sync and folded after it.
+
+cuML is a large multi-file library, so Barracuda cannot ingest it at all
+(``complex_binary``).
+"""
+
+from __future__ import annotations
+
+from repro.cg import GridBarrier, this_grid
+from repro.gpu.device import Device
+from repro.gpu.instructions import compute, load, store
+from repro.workloads.base import Workload
+from repro.workloads.patterns import signal, wait_for
+
+
+def _cuml_gsync_kernel(ctx, barrier_state, points, sums, out, round_flag, k):
+    tid = ctx.tid
+    grid = this_grid(ctx, GridBarrier(barrier_state))
+
+    # Real work: each thread assigns its point to a cluster and writes a
+    # partial sum into its own slot of the (threads x k) matrix.
+    p = yield load(points, tid)
+    cluster = p % k
+    yield compute(8)
+    yield store(sums, tid * k + cluster, p)
+
+    # cuML's iteration gate: every thread polls the shared round word —
+    # the contention hotspot that puts this app in Figure 12.
+    if tid == 0:
+        yield from signal(round_flag, 0)
+    yield from wait_for(round_flag, 0)
+
+    # The library's grid sync with the leader-only fence.
+    yield from grid.sync_racy()
+
+    # Fold partial sums: thread j of block 0 folds column j across all
+    # threads — reading slots written by non-leader threads of other
+    # blocks, which were never fenced.
+    if ctx.block_id == 0 and tid < k:
+        acc = 0
+        for t in range(ctx.num_threads):
+            v = yield load(sums, t * k + tid)  # RACE (DR): cuML grid sync
+            acc += v
+        yield store(out, tid, acc)
+
+
+def run_cuml_gsync(device: Device, seed: int) -> None:
+    """Host driver: 64 points, 4 clusters, 2 blocks."""
+    grid_dim, block_dim, k = 2, 32, 4
+    n = grid_dim * block_dim
+    barrier_state = device.alloc("grid_barrier", GridBarrier.NUM_WORDS, init=0)
+    points = device.alloc("points", n, init=0)
+    points.load_list([(i * 7 + 3) % 23 for i in range(n)])
+    sums = device.alloc("sums", n * k, init=0)
+    out = device.alloc("out", k, init=0)
+    round_flag = device.alloc("round_flag", 1, init=0)
+    device.launch(
+        _cuml_gsync_kernel,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        args=(barrier_state, points, sums, out, round_flag, k),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="cuML_gsync",
+        suite="cuML",
+        run=run_cuml_gsync,
+        expected_races=1,
+        expected_types=frozenset({"DR"}),
+        complex_binary=True,
+        contention_heavy=True,
+        description="cuML grid sync missing per-thread fence in centroid update",
+    ),
+]

@@ -1,0 +1,289 @@
+"""Gunrock: a high-performance GPU graph framework (PPoPP'16).
+
+iGUARD found 7 previously-unreported races in Gunrock (>7700 LOC); the
+developers acknowledged 3 (section 7.1).  Four Gunrock primitives are
+reproduced with the Table 4 seeding:
+
+=========  =====  =====  =============================================
+workload   races  types  racy pattern
+=========  =====  =====  =============================================
+louvain    3      ITS    warp-cooperative weight aggregation missing
+                         ``__syncwarp`` between phases
+pr_nibble  1      BR     push-based PPR frontier consumed in-block
+                         before a barrier
+sm         1      BR     subgraph-matching candidate list consumed
+                         across warps without a barrier
+color      2      BR     hash-priority coloring reading neighbour
+                         priorities/colors written by another warp
+=========  =====  =====  =============================================
+
+Gunrock is a big multi-file template library: Barracuda cannot embed a
+single PTX for it and fails to run (``complex_binary``).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    atomic_add,
+    atomic_load,
+    compute,
+    load,
+    store,
+    syncthreads,
+    syncwarp,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import signal, wait_for
+
+
+# ---------------------------------------------------------------------------
+# louvain: community detection (modularity optimization).
+# 3 ITS races: lanes reuse the warp's weight-aggregation row without a
+# __syncwarp after the leader's fold.
+# ---------------------------------------------------------------------------
+
+
+def _louvain_kernel(ctx, adj_w, community, wrow, gain, flags, n):
+    tid = ctx.tid
+    lane = ctx.lane
+    base = ctx.warp_id * ctx.warp_size
+
+    # Real work: accumulate edge weights toward each lane's candidate
+    # community (thread-private row slot), then fold per warp.
+    acc = 0
+    for j in range(4):
+        w = yield load(adj_w, (tid * 4 + j) % n)
+        acc += w
+    yield store(wrow, base + lane, acc)
+    yield syncwarp()
+
+    if lane == 0:
+        # Leader folds the warp's weights to pick the best community.
+        best = 0
+        for i in range(1, ctx.warp_size):
+            w = yield load(wrow, base + i)
+            if w > best:
+                best = w
+        yield store(gain, ctx.warp_id, best)
+        yield from signal(flags, ctx.warp_id)
+    elif lane in (1, 2, 3):
+        # Lanes start the *next* phase, overwriting their weight slots —
+        # with no __syncwarp after the leader's fold (three sites).
+        yield from wait_for(flags, ctx.warp_id, 1)
+        c = yield load(community, tid % n)
+        if lane == 1:
+            yield store(wrow, base + lane, c)  # RACE (ITS): missing syncwarp
+        elif lane == 2:
+            yield store(wrow, base + lane, c)  # RACE (ITS): missing syncwarp
+        else:
+            yield store(wrow, base + lane, c)  # RACE (ITS): missing syncwarp
+    yield compute(6)
+
+
+def run_louvain(device: Device, seed: int) -> None:
+    """Host driver: 32-vertex graph, 2 blocks x 16 threads."""
+    n = 32
+    adj_w = device.alloc("adj_w", n * 4, init=1)
+    community = device.alloc("community", n, init=0)
+    community.load_list([i % 4 for i in range(n)])
+    wrow = device.alloc("wrow", 32, init=0)
+    gain = device.alloc("gain", 4, init=0)
+    flags = device.alloc("flags", 4, init=0)
+    device.launch(
+        _louvain_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(adj_w, community, wrow, gain, flags, n),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# pr_nibble: push-based personalized PageRank.
+# 1 BR race: a residual pushed by warp 0 is consumed by warp 1 of the same
+# block with no intervening barrier.
+# ---------------------------------------------------------------------------
+
+
+def _pr_nibble_kernel(ctx, residual, pagerank, frontier, flags, n, alpha_num, alpha_den):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: each thread settles its own vertex: moves alpha * r into
+    # its pagerank and pushes the rest to a neighbour via device atomics.
+    if tid < n:
+        r = yield atomic_load(residual, tid)
+        take = (r * alpha_num) // alpha_den
+        pr = yield load(pagerank, tid)
+        yield store(pagerank, tid, pr + take)
+        yield atomic_add(residual, (tid + 1) % n, r - take)
+        yield compute(5)
+
+    # Seeded BR: warp 0's leader writes the block's next-frontier head;
+    # warp 1's leader consumes it with no barrier in between.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(frontier, 0, 17)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(frontier, 0)  # RACE (BR): missing __syncthreads
+        yield store(frontier, 1, v)
+
+
+def run_pr_nibble(device: Device, seed: int) -> None:
+    """Host driver: 32-vertex PPR nibble, 2 blocks x 16 threads."""
+    n = 32
+    residual = device.alloc("residual", n, init=16)
+    pagerank = device.alloc("pagerank", n, init=0)
+    frontier = device.alloc("frontier", 2, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _pr_nibble_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(residual, pagerank, frontier, flags, n, 15, 100),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# sm: subgraph matching.
+# 1 BR race: warp 0 appends candidate pairs; warp 1 filters them without a
+# barrier.
+# ---------------------------------------------------------------------------
+
+
+def _sm_kernel(ctx, q_edges, d_edges, candidates, matched, flags, n_q, n_d):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: test each (query edge, data edge) pair this thread owns
+    # and tally matches with device atomics.
+    for i in range(2):
+        pair = (tid * 2 + i) % (n_q * n_d)
+        q = yield load(q_edges, pair % n_q)
+        d = yield load(d_edges, pair % n_d)
+        yield compute(4)
+        if q == d:
+            yield atomic_add(matched, 0, 1)
+
+    # Seeded BR: warp 0's leader stages a candidate; warp 1's leader
+    # verifies it with no intervening barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(candidates, 0, 5)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(candidates, 0)  # RACE (BR): missing __syncthreads
+        yield store(candidates, 1, v)
+
+
+def run_sm(device: Device, seed: int) -> None:
+    """Host driver: 8 query edges against 16 data edges, 2 blocks."""
+    q_edges = device.alloc("q_edges", 8, init=0)
+    q_edges.load_list([i % 5 for i in range(8)])
+    d_edges = device.alloc("d_edges", 16, init=0)
+    d_edges.load_list([i % 7 for i in range(16)])
+    candidates = device.alloc("candidates", 2, init=0)
+    matched = device.alloc("matched", 1, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _sm_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(q_edges, d_edges, candidates, matched, flags, 8, 16),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# color: hash-priority graph coloring.
+# 2 BR races: warp 1 reads priorities and tentative colors written by
+# warp 0 of the same block without a barrier.
+# ---------------------------------------------------------------------------
+
+
+def _color_kernel(ctx, priorities_in, colors_out, scratch, flags, n):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: Jones-Plassmann round over a read-only priority snapshot.
+    if tid < n:
+        mine = yield load(priorities_in, tid)
+        higher = 0
+        for j in (1, 2):
+            p = yield load(priorities_in, (tid + j) % n)
+            if p > mine:
+                higher += 1
+        yield compute(4)
+        yield store(colors_out, tid, higher)
+
+    # Seeded BR x2: warp 0's leader publishes this round's max priority
+    # and conflict count; warp 1's leader reads both with no barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(scratch, 0, 9)
+        yield store(scratch, 1, 3)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        a = yield load(scratch, 0)  # RACE (BR): missing __syncthreads
+        b = yield load(scratch, 1)  # RACE (BR): missing __syncthreads
+        yield store(scratch, 2, a + b)
+
+
+def run_color(device: Device, seed: int) -> None:
+    """Host driver: 32-vertex coloring round, 2 blocks x 16 threads."""
+    n = 32
+    priorities_in = device.alloc("priorities_in", n, init=0)
+    priorities_in.load_list([(i * 11 + 7) % 31 for i in range(n)])
+    colors_out = device.alloc("colors_out", n, init=0)
+    scratch = device.alloc("scratch", 3, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _color_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(priorities_in, colors_out, scratch, flags, n),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="louvain",
+        suite="Gunrock",
+        run=run_louvain,
+        expected_races=3,
+        expected_types=frozenset({"ITS"}),
+        complex_binary=True,
+        description="Louvain community detection, warp fold missing syncwarp",
+    ),
+    Workload(
+        name="pr_nibble",
+        suite="Gunrock",
+        run=run_pr_nibble,
+        expected_races=1,
+        expected_types=frozenset({"BR"}),
+        complex_binary=True,
+        description="personalized PageRank push missing a block barrier",
+    ),
+    Workload(
+        name="sm",
+        suite="Gunrock",
+        run=run_sm,
+        expected_races=1,
+        expected_types=frozenset({"BR"}),
+        complex_binary=True,
+        description="subgraph matching candidate handoff missing a barrier",
+    ),
+    Workload(
+        name="color",
+        suite="Gunrock",
+        run=run_color,
+        expected_races=2,
+        expected_types=frozenset({"BR"}),
+        complex_binary=True,
+        description="hash-priority coloring scratch shared across warps",
+    ),
+]

@@ -1,0 +1,178 @@
+"""Kilo-TM: GPU hardware-transactional-memory workloads (MICRO'11).
+
+The Kilo-TM paper's software benchmarks run transactions over shared
+structures; iGUARD's evaluation used two of them:
+
+- **interac** — an interacting-entities simulation whose transactions
+  retry in tight validation loops.  Seeded races per Table 4: 4 (2 BR +
+  2 DR).  The retry loops generate an enormous serialized event stream —
+  this is the workload Barracuda "did not terminate" on, which the
+  reproduction models through Barracuda's CPU-side event budget.
+- **hashtable** — transactional hash-table inserts, 2 DR races (bucket
+  counts exported without fences).
+
+Transactions are word-locks: ``atomicCAS`` + fence to own a word, fence +
+``atomicExch`` to release — the exact pair iGUARD infers as lock/unlock.
+Both sides of every transactional access hold the same word lock, so the
+transactional data itself is race-free; the seeded races live on the
+unlocked summary words.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    atomic_add,
+    atomic_load,
+    compute,
+    load,
+    store,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    lock_acquire,
+    lock_release,
+    signal,
+    wait_for,
+)
+
+
+# ---------------------------------------------------------------------------
+# interac
+# ---------------------------------------------------------------------------
+
+
+def _interac_kernel(ctx, entities, word_locks, energy, impulse, exports, flags, n, rounds):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # BR x2: warp 0's leader publishes the block's energy and impulse
+    # summaries; warp 1's leader reads both without a barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(energy, 0, 500)
+        yield store(impulse, 0, 7)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        e = yield load(energy, 0)  # RACE (BR): missing __syncthreads
+        i = yield load(impulse, 0)  # RACE (BR): missing __syncthreads
+        yield store(exports, 2, e + i)
+
+    # DR x2: block 1 exports two collision records; block 0 consumes them
+    # with no device fence.
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield store(exports, 0, 60)
+        yield store(exports, 1, 61)
+        yield from signal(flags, 1)
+    if ctx.block_id == 0 and ctx.tid_in_block == 1:
+        yield from wait_for(flags, 1)
+        a = yield load(exports, 0)  # RACE (DR): missing device fence
+        b = yield load(exports, 1)  # RACE (DR): missing device fence
+        yield store(exports, 3, a + b)
+
+    # Real work: each round, a thread transactionally moves energy between
+    # its entity and a partner.  The transaction takes the two word locks
+    # in index order (no deadlock) and retries contention via the CAS spin
+    # inside lock_acquire — the event-stream firehose that exhausts
+    # Barracuda's CPU-side processing budget ("did not terminate").
+    for r in range(rounds):
+        a = tid % n
+        b = (tid + r + 1) % n
+        lo, hi = (a, b) if a < b else (b, a)
+        yield from lock_acquire(word_locks, lo)
+        yield from lock_acquire(word_locks, hi)
+        ea = yield load(entities, a)
+        eb = yield load(entities, b)
+        yield compute(6)
+        yield store(entities, a, ea - 1)
+        yield store(entities, b, eb + 1)
+        yield from lock_release(word_locks, hi)
+        yield from lock_release(word_locks, lo)
+
+
+def run_interac(device: Device, seed: int) -> None:
+    """Host driver: 24 entities, 4 transaction rounds, 2 blocks."""
+    n = 24
+    entities = device.alloc("entities", n, init=100)
+    word_locks = device.alloc("word_locks", n, init=0)
+    energy = device.alloc("energy", 1, init=0)
+    impulse = device.alloc("impulse", 1, init=0)
+    exports = device.alloc("exports", 4, init=0)
+    flags = device.alloc("flags", 2, init=0)
+    device.launch(
+        _interac_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(entities, word_locks, energy, impulse, exports, flags, n, 4),
+        seed=seed,
+        max_batches=600_000,
+    )
+
+
+# ---------------------------------------------------------------------------
+# hashtable
+# ---------------------------------------------------------------------------
+
+
+def _hashtable_kernel(ctx, keys, table, bucket_count, stats, flags, n_buckets):
+    tid = ctx.tid
+
+    # Real work: transactional-style insert via device atomics — claim a
+    # cell by probing with atomic adds on the per-bucket cursor.
+    key = yield load(keys, tid)
+    bucket = key % n_buckets
+    slot = yield atomic_add(bucket_count, bucket, 1)
+    yield compute(5)
+    if slot < 4:
+        yield store(table, bucket * 4 + slot, key)
+
+    # DR x2: block 0's leader exports occupancy statistics without a
+    # fence; block 1's leader folds them.
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield store(stats, 0, 12)
+        yield store(stats, 1, 34)
+        yield from signal(flags, 0)
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 0)
+        a = yield load(stats, 0)  # RACE (DR): missing device fence
+        b = yield load(stats, 1)  # RACE (DR): missing device fence
+        yield store(stats, 2, a + b)
+
+
+def run_hashtable(device: Device, seed: int) -> None:
+    """Host driver: 64 inserts into 8 buckets, 2 blocks of 32."""
+    n_buckets = 8
+    n = 64
+    keys = device.alloc("keys", n, init=0)
+    keys.load_list([(i * 19 + 11) % 127 for i in range(n)])
+    table = device.alloc("table", n_buckets * 4, init=0)
+    bucket_count = device.alloc("bucket_count", n_buckets, init=0)
+    stats = device.alloc("stats", 3, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _hashtable_kernel,
+        grid_dim=2,
+        block_dim=32,
+        args=(keys, table, bucket_count, stats, flags, n_buckets),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="interac",
+        suite="Kilo-TM",
+        run=run_interac,
+        expected_races=4,
+        expected_types=frozenset({"BR", "DR"}),
+        description="transactional entity interaction; Barracuda's DNT workload",
+    ),
+    Workload(
+        name="hashtable",
+        suite="Kilo-TM",
+        run=run_hashtable,
+        expected_races=2,
+        expected_types=frozenset({"DR"}),
+        description="transactional hash-table inserts, unfenced statistics",
+    ),
+]

@@ -1,0 +1,190 @@
+"""LonestarGPU: irregular-algorithm suite (Burtscher et al., IISWC'12).
+
+iGUARD found 5 races in LonestarGPU (>6400 LOC), all acknowledged by the
+developers (section 7.1).  Two applications are reproduced:
+
+- **mis** — maximal independent set, 2 races (BR + DR): a vertex's
+  in/out-set decision is consumed inside the block before a barrier, and
+  a removed-neighbour mark crosses blocks without a device fence.
+- **cc** — connected components, 3 races (BR + 2 DR): an intra-block
+  label handoff without a barrier and two cross-block frontier exports
+  without fences.
+
+Barracuda cannot ingest the multi-file framework (``complex_binary``).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    atomic_load,
+    atomic_min,
+    atomic_or,
+    compute,
+    load,
+    store,
+    syncthreads,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import signal, wait_for
+
+
+# ---------------------------------------------------------------------------
+# mis: maximal independent set (Luby-style rounds).
+# ---------------------------------------------------------------------------
+
+
+def _mis_kernel(ctx, prio_in, state, marks, removed, flags, n):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: a Luby round — join the set if this vertex's priority
+    # beats both neighbours' (all reads from a read-only snapshot).
+    if tid < n:
+        mine = yield load(prio_in, tid)
+        left = yield load(prio_in, (tid - 1) % n)
+        right = yield load(prio_in, (tid + 1) % n)
+        yield compute(4)
+        yield store(state, tid, 1 if mine > left and mine > right else 0)
+    yield syncthreads()
+
+    # Hand-rolled round barrier: every thread of the grid polls the round
+    # word — the shared-variable hotspot of Figure 12.
+    if tid == 0:
+        yield from signal(flags, 2)
+    yield from wait_for(flags, 2)
+
+    # BR: warp 0's leader stages the block's in-set bitmap; warp 1's
+    # leader consumes it with no further barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(marks, 0, 0b1011)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(marks, 0)  # RACE (BR): missing __syncthreads
+        yield store(marks, 1, v)
+
+    # DR: block 1 marks a boundary vertex removed; block 0 re-checks it
+    # with no device fence in between.
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield store(removed, 0, 1)
+        yield from signal(flags, 1)
+    if ctx.block_id == 0 and ctx.tid_in_block == 1:
+        yield from wait_for(flags, 1)
+        v = yield load(removed, 0)  # RACE (DR): missing device fence
+        yield store(removed, 1, v)
+
+
+def run_mis(device: Device, seed: int) -> None:
+    """Host driver: 32-vertex ring, one Luby round, 2 blocks."""
+    n = 32
+    prio_in = device.alloc("prio_in", n, init=0)
+    prio_in.load_list([(i * 17 + 3) % 101 for i in range(n)])
+    state = device.alloc("state", n, init=0)
+    marks = device.alloc("marks", 2, init=0)
+    removed = device.alloc("removed", 2, init=0)
+    flags = device.alloc("flags", 3, init=0)
+    device.launch(
+        _mis_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(prio_in, state, marks, removed, flags, n),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cc: connected components (label propagation).
+# ---------------------------------------------------------------------------
+
+
+def _cc_kernel(ctx, edges_u, edges_v, labels, lowlink, frontier, flags, n_edges):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: one label-propagation round over the edge list, with
+    # atomic min-label updates (device scope; atomically polled reads).
+    if tid < n_edges:
+        u = yield load(edges_u, tid)
+        v = yield load(edges_v, tid)
+        lu = yield atomic_load(labels, u)
+        lv = yield atomic_load(labels, v)
+        yield compute(4)
+        if lu < lv:
+            yield atomic_min(labels, v, lu)
+        elif lv < lu:
+            yield atomic_min(labels, u, lv)
+    yield syncthreads()
+
+    # Hand-rolled round barrier: every thread polls the shared round word
+    # (the Figure 12 contention hotspot for label propagation).
+    if tid == 0:
+        yield from signal(flags, 2)
+    yield from wait_for(flags, 2)
+
+    # BR: warp 0 stages the block's lowest label; warp 1 folds it without
+    # a barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(lowlink, 0, 2)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(lowlink, 0)  # RACE (BR): missing __syncthreads
+        yield store(lowlink, 1, v)
+
+    # DR x2: block 0 exports two changed-vertex entries for the next
+    # round; block 1 imports them with no device fence.
+    if ctx.block_id == 0 and ctx.tid_in_block == 2:
+        yield store(frontier, 0, 40)
+        yield store(frontier, 1, 41)
+        yield from signal(flags, 1)
+    if ctx.block_id == 1 and ctx.tid_in_block == 2:
+        yield from wait_for(flags, 1)
+        a = yield load(frontier, 0)  # RACE (DR): missing device fence
+        b = yield load(frontier, 1)  # RACE (DR): missing device fence
+        yield store(frontier, 2, a + b)
+
+
+def run_cc(device: Device, seed: int) -> None:
+    """Host driver: 32 edges over 16 vertices, 2 blocks."""
+    n_vertices, n_edges = 16, 32
+    edges_u = device.alloc("edges_u", n_edges, init=0)
+    edges_v = device.alloc("edges_v", n_edges, init=0)
+    edges_u.load_list([i % n_vertices for i in range(n_edges)])
+    edges_v.load_list([(i * 3 + 1) % n_vertices for i in range(n_edges)])
+    labels = device.alloc("labels", n_vertices, init=0)
+    labels.load_list(list(range(n_vertices)))
+    lowlink = device.alloc("lowlink", 2, init=0)
+    frontier = device.alloc("frontier", 3, init=0)
+    flags = device.alloc("flags", 3, init=0)
+    device.launch(
+        _cc_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(edges_u, edges_v, labels, lowlink, frontier, flags, n_edges),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="mis",
+        suite="Lonestar",
+        run=run_mis,
+        expected_races=2,
+        expected_types=frozenset({"BR", "DR"}),
+        complex_binary=True,
+        contention_heavy=True,
+        description="maximal independent set, unbarriered set handoffs",
+    ),
+    Workload(
+        name="cc",
+        suite="Lonestar",
+        run=run_cc,
+        expected_races=3,
+        expected_types=frozenset({"BR", "DR"}),
+        complex_binary=True,
+        contention_heavy=True,
+        description="connected components, unfenced frontier exports",
+    ),
+]

@@ -1,0 +1,90 @@
+"""NVlib_CG: the grid-sync race iGUARD found in NVIDIA's CG library.
+
+The paper's headline bug report (section 7.1, Figure 10): NVIDIA's
+grid-level synchronization fulfills the *execution* barrier property but
+not the *memory* barrier property — the threadfence is executed only by
+each block's leader, and a fence only orders the *calling thread's*
+writes.  After the sync, threads are not guaranteed to see non-leader
+writes from other blocks.  NVIDIA filed an internal bug based on this.
+
+``grid_sync`` reproduces it directly: every thread writes its slot, the
+grid "synchronizes" with the leader-only-fence barrier, and threads then
+read a slot from another block — 1 device-scope (DR) race.
+"""
+
+from __future__ import annotations
+
+from repro.cg import GridBarrier, this_grid
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    Scope,
+    atomic_add,
+    compute,
+    load,
+    store,
+    syncthreads,
+)
+from repro.workloads.base import Workload
+
+
+def _grid_sync_kernel(ctx, barrier_state, data, out, blockhits, racy=True):
+    tid = ctx.tid
+    grid = this_grid(ctx, GridBarrier(barrier_state))
+
+    # Every thread (leaders and non-leaders alike) produces a value.
+    yield compute(4)
+    yield store(data, tid, tid * 3 + 1)
+
+    # Intra-block bookkeeping with the fast block-scope atomic.
+    yield atomic_add(blockhits, ctx.block_id, 1, scope=Scope.BLOCK)
+    yield syncthreads()
+    if ctx.tid_in_block == 0:
+        hits = yield load(blockhits, ctx.block_id)
+        yield store(out, ctx.num_threads + ctx.block_id, hits)
+
+    # Figure 10's sync: execution barrier yes, memory barrier no.  (The
+    # fixed variant uses the corrected per-thread-fence barrier.)
+    if racy:
+        yield from grid.sync_racy()
+    else:
+        yield from grid.sync()
+
+    # Consume a value produced by a thread of the *other* block.  The
+    # producer never fenced, so its write is unordered with this read.
+    partner = (tid + ctx.block_dim) % ctx.num_threads
+    v = yield load(data, partner)  # RACE (DR): leader-only fence in grid sync
+    yield store(out, tid, v)
+
+
+def run_grid_sync(device: Device, seed: int, racy: bool = True) -> None:
+    """Host driver: 2 blocks x 32 threads through the grid barrier."""
+    grid_dim, block_dim = 2, 32
+    n = grid_dim * block_dim
+    barrier_state = device.alloc("grid_barrier", GridBarrier.NUM_WORDS, init=0)
+    data = device.alloc("data", n, init=0)
+    out = device.alloc("out", n + grid_dim, init=0)
+    blockhits = device.alloc("blockhits", grid_dim, init=0)
+    device.launch(
+        _grid_sync_kernel,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        args=(barrier_state, data, out, blockhits, racy),
+        seed=seed,
+    )
+
+
+def run_grid_sync_fixed(device: Device, seed: int) -> None:
+    """The same application after applying NVIDIA's fix (race-free)."""
+    run_grid_sync(device, seed, racy=False)
+
+
+WORKLOADS = [
+    Workload(
+        name="grid_sync",
+        suite="NVlib_CG",
+        run=run_grid_sync,
+        expected_races=1,
+        expected_types=frozenset({"DR"}),
+        description="NVIDIA CG library grid sync missing per-thread fence (Fig. 10)",
+    ),
+]

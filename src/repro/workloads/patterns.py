@@ -1,0 +1,65 @@
+"""Reusable kernel-DSL building blocks shared by the workloads.
+
+Two families:
+
+- **Locks** — the CUDA-guidebook spin lock that iGUARD's lock inference
+  recognizes (``atomicCAS`` + fence to acquire, fence + ``atomicExch`` to
+  release; section 6.3).
+
+- **Flag signalling** — ``signal``/``wait_for`` impose a *runtime* order
+  between two threads through an atomic flag **without fences**.  Because
+  iGUARD (and Barracuda) establish happens-before through *fences*, a
+  flag-ordered pair of conflicting accesses is still a race — but one that
+  manifests in a fixed direction, which is how the racy workloads seed
+  exactly the Table 4 number of racy sites deterministically.  The
+  *fenced* variants (``signal_fenced``) are proper release signalling and
+  are used by the race-free workloads.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.instructions import (
+    Scope,
+    atomic_add,
+    atomic_cas,
+    atomic_exch,
+    atomic_load,
+    fence_device,
+)
+
+
+def lock_acquire(locks, index: int, scope: Scope = Scope.DEVICE):
+    """Spin-acquire ``locks[index]`` (atomicCAS loop + acquire fence)."""
+    while (yield atomic_cas(locks, index, 0, 1, scope=scope)) != 0:
+        pass
+    yield fence_device()
+
+
+def lock_release(locks, index: int, scope: Scope = Scope.DEVICE):
+    """Release ``locks[index]`` (release fence + atomicExch)."""
+    yield fence_device()
+    yield atomic_exch(locks, index, 0, scope=scope)
+
+
+def signal(flags, index: int):
+    """Bump a flag *without* a release fence (orders execution only)."""
+    yield atomic_add(flags, index, 1)
+
+
+def signal_fenced(flags, index: int):
+    """Proper release signalling: device fence, then bump the flag."""
+    yield fence_device()
+    yield atomic_add(flags, index, 1)
+
+
+def wait_for(flags, index: int, target: int = 1):
+    """Spin until ``flags[index] >= target`` (atomic polling)."""
+    while (yield atomic_load(flags, index)) < target:
+        pass
+
+
+def wait_for_acquire(flags, index: int, target: int = 1):
+    """Spin until the flag arrives, then fence (acquire side)."""
+    while (yield atomic_load(flags, index)) < target:
+        pass
+    yield fence_device()

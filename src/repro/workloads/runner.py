@@ -1,0 +1,144 @@
+"""Run workloads under detectors, with the paper's failure modes intact.
+
+``run_workload`` executes a workload's host driver on a fresh simulated
+device, optionally with a detector attached, and returns a
+:class:`~repro.workloads.base.WorkloadResult`:
+
+- races are collected as unique sites, unioned over the workload's pinned
+  scheduler seeds (schedule exploration, like rerunning the real tool);
+- Barracuda's limitations surface as result statuses: ``unsupported``
+  (scoped atomics, or a multi-file library whose PTX cannot be embedded),
+  ``timeout`` (CPU-side processing exceeding its budget — the paper's
+  "did not terminate"), and ``oom`` (the 50% buffer reservation);
+- overheads come from the run's timing breakdown (averaged over seeds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import (
+    DeadlockError,
+    OutOfMemoryError,
+    TimeoutError_,
+    UnsupportedFeatureError,
+)
+from repro.gpu.arch import GPUConfig
+from repro.gpu.device import Device
+from repro.instrument.nvbit import Tool
+from repro.workloads.base import SIM_GPU, Workload, WorkloadResult
+
+ToolFactory = Optional[Callable[[], Tool]]
+
+
+def run_workload(
+    workload: Workload,
+    tool_factory: ToolFactory = None,
+    config: GPUConfig = SIM_GPU,
+    seeds=None,
+) -> WorkloadResult:
+    """Execute ``workload`` under a detector built by ``tool_factory``.
+
+    ``tool_factory`` of None runs natively (no detection).  Each seed gets
+    a fresh device and a fresh tool; race sites are unioned across seeds
+    and timing is averaged.
+    """
+    seeds = tuple(seeds) if seeds is not None else workload.seeds
+    detector_name = "native"
+    if tool_factory is not None:
+        detector_name = tool_factory().name
+
+    # Barracuda executes PTX embedded in the binary; real-world multi-file
+    # libraries defeat that, so it cannot run them at all (section 7.1).
+    if workload.complex_binary and detector_name in ("Barracuda", "CURD"):
+        return WorkloadResult(
+            workload=workload.name,
+            detector=detector_name,
+            status="unsupported",
+            detail="cannot embed a single PTX file for a multi-file library",
+        )
+
+    sites = {}
+    overheads = []
+    native_times = []
+    total_times = []
+    breakdown = {}
+    detail = ""
+    status = "ok"
+
+    for seed in seeds:
+        device = Device(config)
+        tool = None
+        if tool_factory is not None:
+            tool = device.add_tool(tool_factory())
+        try:
+            workload.run(device, seed)
+        except UnsupportedFeatureError as exc:
+            return WorkloadResult(
+                workload=workload.name,
+                detector=detector_name,
+                status="unsupported",
+                detail=str(exc),
+            )
+        except OutOfMemoryError as exc:
+            return WorkloadResult(
+                workload=workload.name,
+                detector=detector_name,
+                status="oom",
+                detail=str(exc),
+            )
+        except TimeoutError_ as exc:
+            status = "timeout"
+            detail = str(exc)
+        except DeadlockError as exc:
+            # A racy kernel deadlocking is a legitimate observation; the
+            # detector's races up to that point stand.
+            detail = f"deadlock: {exc}"
+
+        races = getattr(tool, "races", None)
+        if races is not None:
+            for ip, race_type in races.sites():
+                sites[ip] = str(race_type)
+        if device.runs:
+            native = sum(r.native_time for r in device.runs)
+            total = sum(r.total_time for r in device.runs)
+            overheads.append(total / native if native > 0 else 1.0)
+            native_times.append(native)
+            total_times.append(total)
+            breakdown = _sum_breakdowns(device)
+        if status == "timeout":
+            break
+
+    return WorkloadResult(
+        workload=workload.name,
+        detector=detector_name,
+        status=status,
+        races=len(sites),
+        race_types=frozenset(sites.values()),
+        race_sites=tuple(sorted(sites.items())),
+        overhead=sum(overheads) / len(overheads) if overheads else 1.0,
+        native_time=sum(native_times) / len(native_times) if native_times else 0.0,
+        total_time=sum(total_times) / len(total_times) if total_times else 0.0,
+        breakdown=breakdown,
+        detail=detail,
+    )
+
+
+def _sum_breakdowns(device: Device) -> dict:
+    """Aggregate per-category times over all kernel launches of a run."""
+    totals: dict = {}
+    for run in device.runs:
+        for category, time in run.timing.snapshot().items():
+            totals[category] = totals.get(category, 0.0) + time
+    return totals
+
+
+def measured_overhead(
+    workload: Workload,
+    tool_factory: ToolFactory,
+    config: GPUConfig = SIM_GPU,
+    seeds=None,
+) -> float:
+    """Convenience: the detector's slowdown factor for one workload."""
+    result = run_workload(workload, tool_factory, config=config, seeds=seeds)
+    return result.overhead

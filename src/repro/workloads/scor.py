@@ -1,0 +1,678 @@
+"""The ScoR benchmark suite (7 racy workloads, 31 races).
+
+ScoR is the authors' scoped-racey benchmark suite (github.com/csl-iisc/ScoR),
+built for ScoRD and reused by iGUARD; it contributed 26 scoped races plus 5
+previously-unreported ITS races that iGUARD found on top (section 7.1).
+Each workload below implements the named algorithm over the kernel DSL and
+seeds the Table 4 number of racy sites with the Table 4 type mix:
+
+==============  =====  ==============
+workload        races  types
+==============  =====  ==============
+matrix-mult     4      IL, AS, BR
+1dconv          1      AS
+graph-con       5      AS, BR, DR
+reduction       7      ITS, BR, DR
+rule-110        2      AS, DR
+uts             6      IL, AS
+graph-color     6      AS, BR, DR
+==============  =====  ==============
+
+Races are seeded in a *direction-pinned* way: the conflicting pair is
+ordered at runtime through an unfenced atomic flag (which establishes no
+happens-before for the detector — exactly the bug class these benchmarks
+carry), so each seeded site is reported deterministically and exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    Scope,
+    atomic_add,
+    atomic_load,
+    atomic_min,
+    compute,
+    fence_device,
+    load,
+    store,
+    syncthreads,
+    syncwarp,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    lock_acquire,
+    lock_release,
+    signal,
+    signal_fenced,
+    wait_for,
+    wait_for_acquire,
+)
+
+
+# ---------------------------------------------------------------------------
+# matrix-mult: tiled matrix multiplication.
+# Races: 1 IL (per-thread locks protecting different locks for one
+# accumulator), 1 AS (block-scope atomic column max read across blocks),
+# 2 BR (row sums shared across warps of a block without a barrier).
+# ---------------------------------------------------------------------------
+
+
+def _matrix_mult_kernel(ctx, a, b, c, sink, rowsum, colmax, acc, locks, dummy_locks, flags, n):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: each thread computes one output row of C = A x B.
+    if tid < n:
+        for j in range(n):
+            total = 0
+            for k in range(n):
+                av = yield load(a, tid * n + k)
+                bv = yield load(b, k * n + j)
+                total += av * bv
+            yield store(c, tid * n + j, total)
+        yield compute(4 * n)
+
+    # Hand-rolled phase barrier: thread 0 publishes the phase word and
+    # every thread of the grid polls it — the shared-variable hotspot
+    # that makes this a Figure 12 contention workload.
+    if tid == 0:
+        yield from signal(flags, 3)
+    yield from wait_for(flags, 3)
+
+    # Lock-protocol warmup: every lane takes its own lock simultaneously,
+    # which is how iGUARD infers per-thread locking for this warp.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0:
+        yield from lock_acquire(dummy_locks, lane)
+        yield from lock_release(dummy_locks, lane)
+
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        # IL producer: update the accumulator under lock 0.
+        yield from lock_acquire(locks, 0)
+        v = yield load(acc, 0)
+        yield store(acc, 0, v + 1)
+        yield from lock_release(locks, 0)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 1:
+        # IL consumer: same accumulator, *different* lock -> lockset race.
+        yield from wait_for(flags, 0)
+        yield from lock_acquire(locks, 1)
+        v = yield load(acc, 0)  # RACE (IL): no common lock with lane 0
+        yield store(acc, 0, v + 1)
+        yield from lock_release(locks, 1)
+
+    # AS: block 0's leader maintains a block-scope running column max...
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield atomic_add(colmax, 0, 1, scope=Scope.BLOCK)
+        yield from signal(flags, 1)
+    # ...which block 1's leader then reads: the block scope never made the
+    # update visible outside block 0.
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 1)
+        v = yield load(colmax, 0)  # RACE (AS): insufficient atomic scope
+        yield store(sink, 0, v)
+
+    # BR x2: warp 0 publishes per-warp row sums; warp 1 of the same block
+    # consumes them with no intervening syncthreads.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(rowsum, 0, 11)
+        yield store(rowsum, 1, 22)
+        yield from signal(flags, 2)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 2)
+        v0 = yield load(rowsum, 0)  # RACE (BR): missing __syncthreads
+        v1 = yield load(rowsum, 1)  # RACE (BR): missing __syncthreads
+        yield store(sink, 1, v0 + v1)
+
+
+def run_matrix_mult(device: Device, seed: int) -> None:
+    """Host driver: 8x8 matmul over 2 blocks of 16 threads."""
+    n = 8
+    a = device.alloc("A", n * n, init=1)
+    b = device.alloc("B", n * n, init=2)
+    c = device.alloc("C", n * n, init=0)
+    sink = device.alloc("sink", 2, init=0)
+    rowsum = device.alloc("rowsum", 2, init=0)
+    colmax = device.alloc("colmax", 1, init=0)
+    acc = device.alloc("acc", 1, init=0)
+    locks = device.alloc("locks", 2, init=0)
+    dummy_locks = device.alloc("dummy_locks", 16, init=0)
+    flags = device.alloc("flags", 4, init=0)
+    device.launch(
+        _matrix_mult_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(a, b, c, sink, rowsum, colmax, acc, locks, dummy_locks, flags, n),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1dconv: 1-D convolution with halo exchange.
+# Race: 1 AS — the halo ready-count is published with a block-scope atomic.
+# ---------------------------------------------------------------------------
+
+
+def _conv1d_kernel(ctx, src, dst, sink, halo, flags, n, radius):
+    tid = ctx.tid
+
+    # Real work: each thread convolves its element with a [-radius, radius]
+    # window (source is read-only, so this is race-free).
+    if tid < n:
+        total = 0
+        for offset in range(-radius, radius + 1):
+            idx = tid + offset
+            if 0 <= idx < n:
+                v = yield load(src, idx)
+                total += v
+        yield store(dst, tid, total)
+        yield compute(2 * radius)
+
+    # Hand-rolled phase barrier: every thread polls the shared phase word
+    # (Figure 12's contention hotspot for this kernel).
+    if tid == 0:
+        yield from signal(flags, 1)
+    yield from wait_for(flags, 1)
+
+    # Block 0's leader publishes its boundary element for block 1, but the
+    # accompanying counter update uses a block-scope atomic.
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield atomic_add(halo, 0, 7, scope=Scope.BLOCK)
+        yield from signal(flags, 0)
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(halo, 0)  # RACE (AS): block-scope halo publication
+        yield store(sink, 0, v)
+
+
+def run_conv1d(device: Device, seed: int) -> None:
+    """Host driver: 32-wide convolution, radius 2, 2 blocks."""
+    n = 32
+    src = device.alloc("src", n, init=3)
+    dst = device.alloc("dst", n, init=0)
+    sink = device.alloc("sink", 1, init=0)
+    halo = device.alloc("halo", 2, init=0)
+    flags = device.alloc("flags", 2, init=0)
+    device.launch(
+        _conv1d_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(src, dst, sink, halo, flags, n, 2),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# graph-con: graph connectivity via pointer-jumping (hook & compress).
+# Races: 5 — AS (block-scope hook counter), 2 BR (component labels shared
+# across warps without a barrier), 2 DR (cross-block label exchange with no
+# device fence).
+# ---------------------------------------------------------------------------
+
+
+def _graph_con_kernel(ctx, parent, edges_u, edges_v, labels, hooked, flags, n_edges):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: one hooking round.  Each thread owns one edge and hooks
+    # the larger root under the smaller using a device-scope atomic (min).
+    # Parent labels are polled atomically, the idiomatic way concurrent
+    # graph kernels read mutable labels.
+    if tid < n_edges:
+        u = yield load(edges_u, tid)
+        v = yield load(edges_v, tid)
+        pu = yield atomic_load(parent, u)
+        pv = yield atomic_load(parent, v)
+        if pu != pv:
+            lo, hi = (pu, pv) if pu < pv else (pv, pu)
+            yield atomic_min(parent, hi, lo)
+    yield syncthreads()
+
+    # Hand-rolled round barrier across blocks: every thread polls the
+    # shared round counter (Figure 12's contention hotspot).
+    if tid == 0:
+        yield from signal(flags, 3)
+    yield from wait_for(flags, 3)
+
+    # AS: hooked-count aggregated with a block-scope atomic but consumed
+    # by another block's leader.
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield atomic_add(hooked, 0, 1, scope=Scope.BLOCK)
+        yield from signal(flags, 0)
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(hooked, 0)  # RACE (AS)
+        yield store(labels, 8, v)
+
+    # BR x2: warp 0 writes two compressed labels; warp 1 of the same block
+    # reads them with no intervening barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(labels, 0, 5)
+        yield store(labels, 1, 6)
+        yield from signal(flags, 1)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 1)
+        a = yield load(labels, 0)  # RACE (BR)
+        b = yield load(labels, 1)  # RACE (BR)
+        yield store(labels, 9, a + b)
+
+    # DR x2: block 0 exports two frontier labels; block 1 imports them.
+    # The export is published through a flag with *no device fence*.
+    if ctx.block_id == 0 and ctx.tid_in_block == 1:
+        yield store(labels, 2, 70)
+        yield store(labels, 3, 71)
+        yield from signal(flags, 2)
+    if ctx.block_id == 1 and ctx.tid_in_block == 1:
+        yield from wait_for(flags, 2)
+        a = yield load(labels, 2)  # RACE (DR)
+        b = yield load(labels, 3)  # RACE (DR)
+        yield store(labels, 10, a + b)
+
+
+def run_graph_con(device: Device, seed: int) -> None:
+    """Host driver: 24-edge graph over 16 vertices, 2 blocks."""
+    n_vertices, n_edges = 16, 24
+    parent = device.alloc("parent", n_vertices, init=0)
+    parent.load_list(list(range(n_vertices)))
+    edges_u = device.alloc("edges_u", n_edges, init=0)
+    edges_v = device.alloc("edges_v", n_edges, init=0)
+    edges_u.load_list([i % n_vertices for i in range(n_edges)])
+    edges_v.load_list([(i * 5 + 2) % n_vertices for i in range(n_edges)])
+    labels = device.alloc("labels", 12, init=0)
+    hooked = device.alloc("hooked", 1, init=0)
+    flags = device.alloc("flags", 4, init=0)
+    device.launch(
+        _graph_con_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(parent, edges_u, edges_v, labels, hooked, flags, n_edges),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# reduction: two-level tree reduction (the paper's Figure 2 kernel family).
+# Races: 7 — 3 ITS (warp-level steps missing __syncwarp), 2 BR (block
+# combine missing __syncthreads), 2 DR (grid combine missing device fence).
+# ---------------------------------------------------------------------------
+
+
+def _reduction_kernel(ctx, data, partial, block_out, block_tally, result, flags, n):
+    tid = ctx.tid
+    lane = ctx.lane
+    base = ctx.warp_id * ctx.warp_size
+
+    # Real work: every thread loads and locally accumulates a strided slice.
+    # The per-block running total uses the fast block-scope atomic — this
+    # (correct, intra-block) use is what makes the ScoR suite un-runnable
+    # under Barracuda, which rejects scoped atomics outright.
+    total = 0
+    for i in range(tid, n, ctx.num_threads):
+        v = yield load(data, i)
+        total += v
+    yield store(partial, tid, total)
+    yield atomic_add(block_tally, ctx.block_id, total, scope=Scope.BLOCK)
+    yield syncwarp()
+
+    # Warp-level combine: lane 0 folds the warp's partials (ordered by the
+    # syncwarp above, so these reads are race-free)...
+    if lane == 0:
+        s1 = yield load(partial, tid + 1)
+        s2 = yield load(partial, tid + 2)
+        s3 = yield load(partial, tid + 3)
+        yield store(partial, tid, total + s1 + s2 + s3)
+        yield from signal(flags, ctx.warp_id)
+    elif lane in (1, 2, 3):
+        # ...but lanes 1-3 then *reuse* their partial slots for the next
+        # phase without another __syncwarp — the Figure 2 bug.  The store
+        # below conflicts with lane 0's reads above.
+        yield from wait_for(flags, ctx.warp_id, 1)
+        v = yield load(data, tid % n)
+        if lane == 1:
+            yield store(partial, tid, v)  # RACE (ITS): missing __syncwarp
+        elif lane == 2:
+            yield store(partial, tid, v)  # RACE (ITS): missing __syncwarp
+        else:
+            yield store(partial, tid, v)  # RACE (ITS): missing __syncwarp
+
+    # Block-level combine, missing __syncthreads: warp 1's partial is read
+    # by the block leader while warp 1 may still be writing.
+    if ctx.warp_in_block == 1 and lane == 0:
+        yield store(block_out, ctx.block_id * 2, total)
+        yield store(block_out, ctx.block_id * 2 + 1, total)
+        yield from signal(flags, 8 + ctx.block_id)
+    if ctx.tid_in_block == 0:
+        yield from wait_for(flags, 8 + ctx.block_id)
+        a = yield load(block_out, ctx.block_id * 2)  # RACE (BR)
+        b = yield load(block_out, ctx.block_id * 2 + 1)  # RACE (BR)
+        yield store(partial, tid, a + b)
+
+    # Grid-level combine, missing device fence: block 1's leader exports
+    # its block sums; block 0's leader folds them into the result.
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield store(result, 1, total)
+        yield store(result, 2, total)
+        yield from signal(flags, 12)
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 12)
+        a = yield load(result, 1)  # RACE (DR)
+        b = yield load(result, 2)  # RACE (DR)
+        yield store(result, 0, a + b)
+
+
+def run_reduction(device: Device, seed: int) -> None:
+    """Host driver: reduce 64 elements over 2 blocks of 16 threads."""
+    n = 64
+    data = device.alloc("data", n, init=1)
+    partial = device.alloc("partial", 32, init=0)
+    block_out = device.alloc("block_out", 4, init=0)
+    block_tally = device.alloc("block_tally", 2, init=0)
+    result = device.alloc("result", 4, init=0)
+    flags = device.alloc("flags", 16, init=0)
+    device.launch(
+        _reduction_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(data, partial, block_out, block_tally, result, flags, n),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# rule-110: elementary cellular automaton, double-buffered generations.
+# Races: 2 — AS (generation counter bumped with block scope), DR (boundary
+# cell exchanged across blocks without a device fence).
+# ---------------------------------------------------------------------------
+
+_RULE110 = (0, 1, 1, 1, 0, 1, 1, 0)
+
+
+def _rule110_kernel(ctx, cells, next_cells, sink, generation, flags, steps):
+    # Real work: compute-heavy generation updates.  Each block evolves an
+    # independent ring of block_dim cells, barrier-synchronized per step —
+    # race-free, like a production automaton kernel that exchanges tile
+    # boundaries only at kernel boundaries.
+    base = ctx.block_id * ctx.block_dim
+    me = ctx.tid_in_block
+    width = ctx.block_dim
+    for _ in range(steps):
+        left = yield load(cells, base + (me - 1) % width)
+        mid = yield load(cells, base + me)
+        right = yield load(cells, base + (me + 1) % width)
+        pattern = (left << 2) | (mid << 1) | right
+        yield compute(6)
+        yield store(next_cells, base + me, _RULE110[pattern])
+        yield syncthreads()
+        v = yield load(next_cells, base + me)
+        yield store(cells, base + me, v)
+        yield syncthreads()
+
+    # AS: the generation counter is bumped block-scope by block 0's leader
+    # but read by block 1's leader.
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield atomic_add(generation, 0, steps, scope=Scope.BLOCK)
+        yield from signal(flags, 0)
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 0)
+        v = yield load(generation, 0)  # RACE (AS)
+        yield store(sink, 0, v)
+
+    # DR: block 1 exports its boundary cell for the next kernel's halo
+    # with no device fence.
+    if ctx.block_id == 1 and ctx.tid_in_block == 1:
+        yield store(sink, 1, 1)
+        yield from signal(flags, 1)
+    if ctx.block_id == 0 and ctx.tid_in_block == 1:
+        yield from wait_for(flags, 1)
+        v = yield load(sink, 1)  # RACE (DR)
+        yield store(sink, 2, v)
+
+
+def run_rule110(device: Device, seed: int) -> None:
+    """Host driver: two 16-cell rings, 3 generations, 2 blocks."""
+    cells = device.alloc("cells", 32, init=0)
+    cells.write(8, 1)
+    cells.write(24, 1)
+    next_cells = device.alloc("next_cells", 32, init=0)
+    sink = device.alloc("sink", 3, init=0)
+    generation = device.alloc("generation", 1, init=0)
+    flags = device.alloc("flags", 2, init=0)
+    device.launch(
+        _rule110_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(cells, next_cells, sink, generation, flags, 3),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# uts: unbalanced tree search with work stealing.
+# Races: 6 — 2 IL (deque head/tail updated under per-thread locks that do
+# not match), 4 AS (block-scope deque bounds read/updated by stealers from
+# other blocks).
+# ---------------------------------------------------------------------------
+
+
+def _uts_kernel(ctx, work, head, tail, depth, locks, dummy_locks, flags):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: expand a few synthetic tree nodes from the local deque.
+    if tid < 8:
+        for round_ in range(3):
+            item = yield load(work, (tid + round_) % 16)
+            yield compute(8 + (item % 4))
+
+    # Per-thread locking warmup for the leader warp.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0:
+        yield from lock_acquire(dummy_locks, lane)
+        yield from lock_release(dummy_locks, lane)
+
+    # IL x2: lane 0 updates the deque depth under lock 0; lane 1 updates it
+    # under lock 1 (and the tail summary under the same wrong lock).
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield from lock_acquire(locks, 0)
+        v = yield load(depth, 0)
+        yield store(depth, 0, v + 1)
+        w = yield load(depth, 1)
+        yield store(depth, 1, w + 1)
+        yield from lock_release(locks, 0)
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 1:
+        yield from wait_for(flags, 0)
+        yield from lock_acquire(locks, 1)
+        v = yield load(depth, 0)  # RACE (IL): disjoint lock for depth[0]
+        yield store(depth, 0, v + 1)
+        w = yield load(depth, 1)  # RACE (IL): disjoint lock for depth[1]
+        yield store(depth, 1, w + 1)
+        yield from lock_release(locks, 1)
+
+    # AS x4: the local deque state (head, tail, node count, steal victim)
+    # is maintained with block-scope atomics by the owner; a stealer from
+    # block 1 reads the bounds (stale outside the scope) and bumps the
+    # count/victim words with device-scope atomics that conflict with the
+    # owner's block-scope ones.
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield atomic_add(head, 0, 1, scope=Scope.BLOCK)
+        yield atomic_add(tail, 0, 4, scope=Scope.BLOCK)
+        yield atomic_add(head, 1, 1, scope=Scope.BLOCK)  # node count
+        yield atomic_add(tail, 1, 1, scope=Scope.BLOCK)  # steal victim
+        yield from signal(flags, 1)
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 1)
+        h = yield load(head, 0)  # RACE (AS): stale head for the stealer
+        t = yield load(tail, 0)  # RACE (AS): stale tail for the stealer
+        yield atomic_add(head, 1, 1)  # RACE (AS): device vs block atomics
+        yield atomic_add(tail, 1, -1)  # RACE (AS): device vs block atomics
+        yield store(work, 15, h + t)
+
+
+def run_uts(device: Device, seed: int) -> None:
+    """Host driver: 16-node synthetic tree, 2 blocks of 16 threads."""
+    work = device.alloc("work", 16, init=2)
+    head = device.alloc("head", 2, init=0)
+    tail = device.alloc("tail", 2, init=0)
+    depth = device.alloc("depth", 2, init=0)
+    locks = device.alloc("locks", 2, init=0)
+    dummy_locks = device.alloc("dummy_locks", 16, init=0)
+    flags = device.alloc("flags", 2, init=0)
+    device.launch(
+        _uts_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(work, head, tail, depth, locks, dummy_locks, flags),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# graph-color: greedy graph coloring with work stealing (Figure 1's
+# getWork pattern).  Races: 6 — 2 AS (the block-scope nextHead atomic read
+# by stealing blocks, exactly Figure 1), 2 BR, 2 DR.
+# ---------------------------------------------------------------------------
+
+
+def _graph_color_kernel(ctx, colors_in, colors_out, adj, next_head, partition_end, forbidden, frontier, flags, n):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: Jones-Plassmann style round — read the *previous* round's
+    # colors (read-only snapshot), write this round's color to the
+    # thread's own slot.  Race-free by construction.
+    if tid < n:
+        used = 0
+        for j in range(4):
+            nbr = yield load(adj, tid * 4 + j)
+            c = yield load(colors_in, nbr)
+            if c >= 0:
+                used |= 1 << c
+        color = 0
+        while used & (1 << color):
+            color += 1
+        yield compute(6)
+        yield store(colors_out, tid, color)
+
+    # AS x2: Figure 1's getWork — the victim block advances its own
+    # currHead/nextHead with *block-scope* atomics; the stealing block's
+    # leader reads the head (stale outside the scope) and advances the
+    # victim's nextHead with a device-scope atomic.
+    if ctx.block_id == 0 and ctx.tid_in_block == 0:
+        yield atomic_add(next_head, 0, 4, scope=Scope.BLOCK)
+        yield atomic_add(next_head, 1, 4, scope=Scope.BLOCK)
+        yield from signal(flags, 0)
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 0)
+        h = yield load(next_head, 0)  # RACE (AS): stale stolen head
+        end = yield load(partition_end, 0)
+        if h < end:
+            yield atomic_add(next_head, 1, 4)  # RACE (AS): scope mismatch
+        yield store(frontier, 4, h)
+
+    # BR x2: forbidden-color masks shared between warps of block 0 with no
+    # barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 2:
+        yield store(forbidden, 0, 0b1010)
+        yield store(forbidden, 1, 0b0101)
+        yield from signal(flags, 1)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 2:
+        yield from wait_for(flags, 1)
+        m0 = yield load(forbidden, 0)  # RACE (BR)
+        m1 = yield load(forbidden, 1)  # RACE (BR)
+        yield store(frontier, 5, m0 | m1)
+
+    # DR x2: the next-iteration frontier is exported to the other block
+    # with no device fence.
+    if ctx.block_id == 1 and ctx.tid_in_block == 1:
+        yield store(frontier, 0, 100)
+        yield store(frontier, 1, 101)
+        yield from signal(flags, 2)
+    if ctx.block_id == 0 and ctx.tid_in_block == 1:
+        yield from wait_for(flags, 2)
+        a = yield load(frontier, 0)  # RACE (DR)
+        b = yield load(frontier, 1)  # RACE (DR)
+        yield store(frontier, 6, a + b)
+
+
+def run_graph_color(device: Device, seed: int) -> None:
+    """Host driver: 16-vertex 4-regular graph, 2 blocks of 16 threads."""
+    n = 16
+    colors_in = device.alloc("colors_in", n, init=-1)
+    colors_out = device.alloc("colors_out", n, init=-1)
+    adj = device.alloc("adj", n * 4, init=0)
+    adj.load_list([(i // 4 + j + 1) % n for i in range(n) for j in range(4)][: n * 4])
+    next_head = device.alloc("next_head", 2, init=0)
+    partition_end = device.alloc("partition_end", 2, init=64)
+    forbidden = device.alloc("forbidden", 2, init=0)
+    frontier = device.alloc("frontier", 8, init=0)
+    flags = device.alloc("flags", 4, init=0)
+    device.launch(
+        _graph_color_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(colors_in, colors_out, adj, next_head, partition_end, forbidden, frontier, flags, n),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="matrix-mult",
+        suite="ScoR",
+        run=run_matrix_mult,
+        expected_races=4,
+        expected_types=frozenset({"IL", "AS", "BR"}),
+        contention_heavy=True,
+        description="tiled matrix multiply with locked accumulator",
+    ),
+    Workload(
+        name="1dconv",
+        suite="ScoR",
+        run=run_conv1d,
+        expected_races=1,
+        expected_types=frozenset({"AS"}),
+        contention_heavy=True,
+        description="1-D convolution with halo exchange",
+    ),
+    Workload(
+        name="graph-con",
+        suite="ScoR",
+        run=run_graph_con,
+        expected_races=5,
+        expected_types=frozenset({"AS", "BR", "DR"}),
+        contention_heavy=True,
+        description="graph connectivity (hook and compress)",
+    ),
+    Workload(
+        name="reduction",
+        suite="ScoR",
+        run=run_reduction,
+        expected_races=7,
+        expected_types=frozenset({"ITS", "BR", "DR"}),
+        description="two-level tree reduction (Figure 2 kernel family)",
+    ),
+    Workload(
+        name="rule-110",
+        suite="ScoR",
+        run=run_rule110,
+        expected_races=2,
+        expected_types=frozenset({"AS", "DR"}),
+        description="rule-110 cellular automaton, double buffered",
+    ),
+    Workload(
+        name="uts",
+        suite="ScoR",
+        run=run_uts,
+        expected_races=6,
+        expected_types=frozenset({"IL", "AS"}),
+        description="unbalanced tree search with work stealing",
+    ),
+    Workload(
+        name="graph-color",
+        suite="ScoR",
+        run=run_graph_color,
+        expected_races=6,
+        expected_types=frozenset({"AS", "BR", "DR"}),
+        description="greedy graph coloring with stealing (Figure 1)",
+    ),
+]

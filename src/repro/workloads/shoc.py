@@ -1,0 +1,95 @@
+"""SHoC: the Scalable Heterogeneous Computing benchmark suite (GPGPU'10).
+
+iGUARD's evaluation uses SHoC's breadth-first search.  Table 4 reports 2
+races in **shocbfs**, both intra-block (BR): the next-frontier size and
+the level cursor are handed across warps of a block without a barrier.
+The BFS itself (level expansion with an atomically-built next frontier)
+is implemented for real and is race-free.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    atomic_add,
+    atomic_cas,
+    compute,
+    load,
+    store,
+    syncthreads,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import signal, wait_for
+
+
+def _shocbfs_kernel(ctx, row_ptr, col_idx, visited, frontier, next_frontier,
+                    next_size, meta, flags, frontier_len):
+    tid = ctx.tid
+    lane = ctx.lane
+
+    # Real work: expand one frontier vertex per thread.  Claim unvisited
+    # neighbours with CAS and append them to the next frontier through an
+    # atomic cursor (the standard race-free BFS idiom).
+    if tid < frontier_len:
+        v = yield load(frontier, tid)
+        start = yield load(row_ptr, v)
+        end = yield load(row_ptr, v + 1)
+        for e in range(start, end):
+            nbr = yield load(col_idx, e)
+            old = yield atomic_cas(visited, nbr, 0, 1)
+            if old == 0:
+                slot = yield atomic_add(next_size, 0, 1)
+                yield store(next_frontier, slot, nbr)
+        yield compute(4)
+    yield syncthreads()
+
+    # BR x2: warp 0's leader snapshots the block's frontier statistics;
+    # warp 1's leader consumes them with no further barrier.
+    if ctx.block_id == 0 and ctx.warp_in_block == 0 and lane == 0:
+        yield store(meta, 0, 3)  # next level number
+        yield store(meta, 1, 5)  # block's appended count
+        yield from signal(flags, 0)
+    if ctx.block_id == 0 and ctx.warp_in_block == 1 and lane == 0:
+        yield from wait_for(flags, 0)
+        level = yield load(meta, 0)  # RACE (BR): missing __syncthreads
+        count = yield load(meta, 1)  # RACE (BR): missing __syncthreads
+        yield store(meta, 2, level + count)
+
+
+def run_shocbfs(device: Device, seed: int) -> None:
+    """Host driver: one BFS level over a 24-vertex graph, 2 blocks."""
+    n = 24
+    # A ring with chords: vertex i -> i+1, i+5 (mod n).
+    row_ptr = device.alloc("row_ptr", n + 1, init=0)
+    row_ptr.load_list([2 * i for i in range(n + 1)])
+    col_idx = device.alloc("col_idx", 2 * n, init=0)
+    col_idx.load_list(
+        [x for i in range(n) for x in ((i + 1) % n, (i + 5) % n)]
+    )
+    visited = device.alloc("visited", n, init=0)
+    frontier = device.alloc("frontier", 8, init=0)
+    frontier.load_list([0, 3, 6, 9, 12, 15, 18, 21])
+    next_frontier = device.alloc("next_frontier", 2 * n, init=0)
+    next_size = device.alloc("next_size", 1, init=0)
+    meta = device.alloc("meta", 3, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _shocbfs_kernel,
+        grid_dim=2,
+        block_dim=16,
+        args=(row_ptr, col_idx, visited, frontier, next_frontier,
+              next_size, meta, flags, 8),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="shocbfs",
+        suite="SHoC",
+        run=run_shocbfs,
+        expected_races=2,
+        expected_types=frozenset({"BR"}),
+        description="SHoC breadth-first search, unbarriered level metadata",
+    ),
+]

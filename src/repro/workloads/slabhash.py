@@ -1,0 +1,95 @@
+"""SlabHash: a dynamic GPU hash table (Ashkiani et al., IPDPS'18).
+
+SlabHash chains fixed-size "slabs" per bucket, allocating new slabs from a
+global pool with an atomic bump pointer.  The reproduction implements the
+bucket-insert path: threads hash keys into buckets, claim slots within a
+slab with atomic CAS, and allocate a fresh slab when one fills.
+
+Seeded race (Table 4: 1 DR): a thread that allocates a new slab *links* it
+into the bucket list before initializing it is done being visible — the
+slab's header store is not fenced before the next-pointer publication, so
+a reader traversing the chain from another block can observe an
+uninitialized header.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    atomic_add,
+    atomic_cas,
+    atomic_load,
+    compute,
+    load,
+    store,
+)
+from repro.workloads.base import Workload
+from repro.workloads.patterns import signal, wait_for
+
+_SLAB_SLOTS = 4
+
+
+def _slabhash_kernel(ctx, keys, buckets, slots, pool_next, headers, flags, n_buckets):
+    tid = ctx.tid
+
+    # Real work: insert one key.  Claim a slot in the key's bucket slab
+    # with CAS; on conflict, probe the next slot (all device atomics).
+    key = yield load(keys, tid)
+    bucket = key % n_buckets
+    yield compute(5)
+    inserted = False
+    for probe in range(_SLAB_SLOTS):
+        slot = bucket * _SLAB_SLOTS + probe
+        old = yield atomic_cas(slots, slot, 0, key)
+        if old == 0 or old == key:
+            inserted = True
+            break
+    if not inserted:
+        # Overflow: count it in the bucket's overflow tally.
+        yield atomic_add(buckets, bucket, 1)
+
+    # Seeded race: the first thread allocates a fresh slab from the pool,
+    # writes its header, and *publishes* it with an unfenced flag bump;
+    # a reader in the other block walks to it and reads the header.
+    if tid == 0:
+        new_slab = yield atomic_add(pool_next, 0, 1)
+        yield store(headers, new_slab, 7777)
+        yield from signal(flags, 0)  # link published with no fence
+    if ctx.block_id == 1 and ctx.tid_in_block == 0:
+        yield from wait_for(flags, 0)
+        slab = (yield atomic_load(pool_next, 0)) - 1
+        v = yield load(headers, slab)  # RACE (DR): header not fenced
+        yield store(headers, slab + 1, v)
+
+
+def run_slabhash(device: Device, seed: int) -> None:
+    """Host driver: insert 64 keys into 8 buckets, 2 blocks."""
+    grid_dim, block_dim, n_buckets = 2, 32, 8
+    n = grid_dim * block_dim
+    keys = device.alloc("keys", n, init=0)
+    keys.load_list([(i * 13 + 5) % 97 + 1 for i in range(n)])
+    buckets = device.alloc("buckets", n_buckets, init=0)
+    slots = device.alloc("slots", n_buckets * _SLAB_SLOTS, init=0)
+    pool_next = device.alloc("pool_next", 1, init=0)
+    headers = device.alloc("headers", 4, init=0)
+    flags = device.alloc("flags", 1, init=0)
+    device.launch(
+        _slabhash_kernel,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        args=(keys, buckets, slots, pool_next, headers, flags, n_buckets),
+        seed=seed,
+    )
+
+
+WORKLOADS = [
+    Workload(
+        name="slabhash_test",
+        suite="SlabHash",
+        run=run_slabhash,
+        expected_races=1,
+        expected_types=frozenset({"DR"}),
+        complex_binary=True,
+        description="GPU hash table publishing an unfenced slab header",
+    ),
+]

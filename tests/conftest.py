@@ -1,0 +1,56 @@
+"""Shared fixtures and kernel helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IGuard
+from repro.gpu.arch import TEST_GPU, GPUConfig
+from repro.gpu.device import Device
+
+
+@pytest.fixture
+def device() -> Device:
+    """A small, fast simulated GPU (warp size 4)."""
+    return Device(TEST_GPU)
+
+
+@pytest.fixture
+def detector(device) -> IGuard:
+    """An iGUARD detector attached to the small device."""
+    return device.add_tool(IGuard())
+
+
+def fresh_device(**overrides) -> Device:
+    """Build an independent test device (for tests needing several)."""
+    if overrides:
+        base = TEST_GPU.__dict__ | overrides
+        return Device(GPUConfig(**{
+            k: base[k]
+            for k in (
+                "name", "num_sms", "warp_size", "max_threads_per_block",
+                "lanes_per_sm", "memory_bytes", "supports_its",
+            )
+        }))
+    return Device(TEST_GPU)
+
+
+def detect(kernel, grid_dim, block_dim, arrays, seed=1, config=None, **launch_kwargs):
+    """Run one kernel under a fresh device+detector; return (detector, device).
+
+    ``arrays`` maps name -> (num_words, init) or num_words.
+    """
+    dev = fresh_device()
+    det = dev.add_tool(IGuard(config) if config else IGuard())
+    allocated = {}
+    for name, spec in arrays.items():
+        if isinstance(spec, tuple):
+            num_words, init = spec
+        else:
+            num_words, init = spec, 0
+        allocated[name] = dev.alloc(name, num_words, init=init)
+    dev.launch(
+        kernel, grid_dim, block_dim,
+        args=tuple(allocated.values()), seed=seed, **launch_kwargs,
+    )
+    return det, allocated

@@ -1,0 +1,71 @@
+"""Tests for the top-level public API and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_device_and_detector_construct(self):
+        device = repro.Device()
+        detector = device.add_tool(repro.IGuard())
+        assert detector.device is device
+        assert device.config is repro.TITAN_RTX
+
+    def test_registry_reexported(self):
+        assert len(repro.REGISTRY) == 43
+        assert repro.get_workload("reduction").suite == "ScoR"
+
+    def test_docstring_example_works(self):
+        # The README / package-docstring snippet, end to end.
+        from repro.gpu import load, store
+
+        device = repro.Device()
+        detector = device.add_tool(repro.IGuard())
+        data = device.alloc("data", 64, init=0)
+
+        def kernel(ctx, data):
+            yield store(data, ctx.tid, ctx.tid)
+            v = yield load(data, (ctx.tid + 1) % ctx.num_threads)
+            yield store(data, ctx.tid, v)
+
+        device.launch(kernel, grid_dim=2, block_dim=32, args=(data,))
+        assert detector.race_count > 0
+
+    def test_race_type_enum_exported(self):
+        assert str(repro.RaceType.ATOMIC_SCOPE) == "AS"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.LaunchError,
+            errors.MemoryError_,
+            errors.OutOfMemoryError,
+            errors.InvalidAddressError,
+            errors.DeadlockError,
+            errors.TimeoutError_,
+            errors.UnsupportedFeatureError,
+            errors.KernelSourceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_oom_is_memory_error(self):
+        assert issubclass(errors.OutOfMemoryError, errors.MemoryError_)
+
+    def test_catchable_as_family(self):
+        device = repro.Device(repro.GPUConfig(memory_bytes=1024 * 1024))
+        with pytest.raises(errors.ReproError):
+            device.alloc("huge", 10**9)

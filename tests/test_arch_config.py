@@ -1,0 +1,86 @@
+"""Tests for GPU configs and detector configuration."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, IGuardConfig
+from repro.errors import ConfigError
+from repro.gpu.arch import GiB, MiB, PRE_VOLTA, TEST_GPU, TITAN_RTX, GPUConfig
+
+
+class TestGPUConfig:
+    def test_titan_rtx_matches_table3(self):
+        assert TITAN_RTX.num_sms == 72
+        assert TITAN_RTX.memory_bytes == 24 * GiB
+        assert TITAN_RTX.warp_size == 32
+        assert TITAN_RTX.supports_its
+
+    def test_pre_volta_no_its(self):
+        assert not PRE_VOLTA.supports_its
+
+    def test_max_concurrent_lanes(self):
+        assert TITAN_RTX.max_concurrent_lanes == 72 * 64
+
+    def test_scaled_memory(self):
+        small = TITAN_RTX.scaled_memory(2 * GiB)
+        assert small.memory_bytes == 2 * GiB
+        assert small.num_sms == TITAN_RTX.num_sms
+
+    def test_invalid_warp_size(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_size=0)
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_size=128)
+
+    def test_invalid_sms(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0)
+
+    def test_tiny_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(memory_bytes=1024)
+
+    def test_block_limit_must_be_warp_multiple(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_size=32, max_threads_per_block=1000)
+
+    def test_test_gpu_is_small(self):
+        assert TEST_GPU.warp_size == 4
+        assert TEST_GPU.memory_bytes == 64 * MiB
+
+
+class TestIGuardConfig:
+    def test_defaults_match_paper(self):
+        c = DEFAULT_CONFIG
+        assert c.granularity_bytes == 4
+        assert c.metadata_entry_bytes == 16  # 4x overhead per granule
+        assert c.race_buffer_bytes == 1024 * 1024  # the 1 MB buffer
+        assert c.lock_table_entries == 3
+        assert c.coalescing and c.dynamic_backoff
+        assert c.its_support and c.lockset
+        assert c.use_uvm and c.prefault
+        assert c.accessor_history == 1
+
+    def test_without_optimizations(self):
+        c = DEFAULT_CONFIG.without_optimizations()
+        assert not c.coalescing and not c.dynamic_backoff
+        assert c.its_support  # detection features untouched
+
+    def test_scord_mode(self):
+        c = DEFAULT_CONFIG.scord_mode()
+        assert not c.its_support and not c.lockset
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigError):
+            IGuardConfig(granularity_bytes=5)
+
+    def test_invalid_lock_entries(self):
+        with pytest.raises(ConfigError):
+            IGuardConfig(lock_table_entries=0)
+
+    def test_buffer_must_hold_a_record(self):
+        with pytest.raises(ConfigError):
+            IGuardConfig(race_buffer_bytes=10, race_record_bytes=64)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.coalescing = False  # type: ignore[misc]

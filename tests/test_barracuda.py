@@ -1,0 +1,286 @@
+"""Tests for the Barracuda baseline (and its documented limitations)."""
+
+import pytest
+
+from repro.baselines import Barracuda, CURD
+from repro.errors import OutOfMemoryError, TimeoutError_, UnsupportedFeatureError
+from repro.gpu.arch import TEST_GPU, GPUConfig
+from repro.gpu.device import Device
+from repro.gpu.instructions import (
+    Scope,
+    atomic_add,
+    atomic_load,
+    fence_block,
+    fence_device,
+    load,
+    store,
+    syncthreads,
+    syncwarp,
+)
+
+from tests.conftest import fresh_device
+
+
+def run_with(tool, kernel, grid, block, arrays, seed=1):
+    dev = fresh_device()
+    det = dev.add_tool(tool)
+    allocated = [dev.alloc(n, w, init=0) for n, w in arrays]
+    dev.launch(kernel, grid, block, args=tuple(allocated), seed=seed)
+    return det, allocated
+
+
+class TestHappensBefore:
+    def test_barrier_protected_no_race(self):
+        def kern(ctx, data, out):
+            yield store(data, ctx.tid, 1)
+            yield syncthreads()
+            v = yield load(data, ctx.block_id * ctx.block_dim
+                           + (ctx.tid_in_block + 1) % ctx.block_dim)
+            yield store(out, ctx.tid, v)
+
+        det, _ = run_with(Barracuda(), kern, 2, 8, [("data", 16), ("out", 16)])
+        assert det.race_count == 0
+
+    def test_missing_barrier_detected(self):
+        def kern(ctx, data, out, flag):
+            if ctx.warp_in_block == 0 and ctx.lane == 0:
+                yield store(data, 0, 1)
+                yield atomic_add(flag, 0, 1)
+            if ctx.warp_in_block == 1 and ctx.lane == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 1, 8,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 1
+
+    def test_fenced_publication_no_race(self):
+        def kern(ctx, data, out, flag):
+            if ctx.block_id == 0 and ctx.tid_in_block == 0:
+                yield store(data, 0, 1)
+                yield fence_device()
+                yield atomic_add(flag, 0, 1)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 2, 8,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 0
+
+    def test_unfenced_publication_detected(self):
+        def kern(ctx, data, out, flag):
+            if ctx.block_id == 0 and ctx.tid_in_block == 0:
+                yield store(data, 0, 1)
+                yield atomic_add(flag, 0, 1)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 2, 8,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 1
+
+    def test_block_fence_scoped_correctly(self):
+        # A block-scope fence publishes only within the block: the
+        # cross-block consumer still races (Barracuda detects scoped
+        # fence races; paper Table 1).
+        def kern(ctx, data, out, flag):
+            if ctx.block_id == 0 and ctx.tid_in_block == 0:
+                yield store(data, 0, 1)
+                yield fence_block()
+                yield atomic_add(flag, 0, 1)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 2, 8,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 1
+
+    def test_block_fence_works_within_block(self):
+        def kern(ctx, data, out, flag):
+            if ctx.warp_in_block == 0 and ctx.lane == 0:
+                yield store(data, 0, 1)
+                yield fence_block()
+                yield atomic_add(flag, 0, 1)
+            if ctx.warp_in_block == 1 and ctx.lane == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 1, 8,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 0
+
+    def test_fence_releases_own_writes_only(self):
+        # The Figure 10 property: the leader's fence does not publish a
+        # sibling's write observed through a barrier.
+        def kern(ctx, data, out, flag):
+            if ctx.block_id == 0:
+                if ctx.tid_in_block == 1:
+                    yield store(data, 0, 1)  # non-leader write
+                yield syncthreads()
+                if ctx.tid_in_block == 0:
+                    yield fence_device()  # leader-only fence
+                    yield atomic_add(flag, 0, 1)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 2, 8,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 1
+
+
+class TestLimitations:
+    def test_scoped_atomics_unsupported(self):
+        def kern(ctx, counter):
+            yield atomic_add(counter, 0, 1, scope=Scope.BLOCK)
+
+        dev = fresh_device()
+        dev.add_tool(Barracuda())
+        counter = dev.alloc("counter", 1, init=0)
+        with pytest.raises(UnsupportedFeatureError):
+            dev.launch(kern, 1, 4, args=(counter,))
+
+    def test_its_races_missed(self):
+        # Lockstep assumption: same-warp conflicts are invisible.
+        def kern(ctx, data, out, flag):
+            if ctx.warp_id == 0 and ctx.lane == 1:
+                yield store(data, 0, 1)
+                yield atomic_add(flag, 0, 1)
+            if ctx.warp_id == 0 and ctx.lane == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        det, _ = run_with(Barracuda(), kern, 1, 4,
+                          [("data", 1), ("out", 1), ("flag", 1)])
+        assert det.race_count == 0
+
+    def test_syncwarp_ignored_without_error(self):
+        def kern(ctx, data):
+            yield store(data, ctx.tid, 1)
+            yield syncwarp()
+
+        det, _ = run_with(Barracuda(), kern, 1, 4, [("data", 4)])
+        assert det.race_count == 0
+
+    def test_memory_reservation_oom(self):
+        dev = Device(TEST_GPU)  # 64 MiB device
+        dev.add_tool(Barracuda())
+        with pytest.raises(OutOfMemoryError):
+            # > 50%/1.6 of capacity: the reservation check fires.
+            dev.alloc("big", (40 * 1024 * 1024) // 4)
+
+    def test_event_budget_timeout(self):
+        def kern(ctx, data):
+            for i in range(50):
+                yield store(data, ctx.tid, i)
+
+        dev = fresh_device()
+        dev.add_tool(Barracuda(event_budget=100))
+        data = dev.alloc("data", 8, init=0)
+        with pytest.raises(TimeoutError_):
+            dev.launch(kern, 1, 8, args=(data,))
+
+    def test_races_found_before_timeout_are_kept(self):
+        def kern(ctx, data, out, flag):
+            if ctx.warp_in_block == 0 and ctx.lane == 0:
+                yield store(data, 0, 1)
+                yield atomic_add(flag, 0, 1)
+            if ctx.warp_in_block == 1 and ctx.lane == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+            for i in range(200):
+                yield store(out, 1 + ctx.tid, i)
+
+        dev = fresh_device()
+        det = dev.add_tool(Barracuda(event_budget=600))
+        data = dev.alloc("data", 1, init=0)
+        out = dev.alloc("out", 16, init=0)
+        flag = dev.alloc("flag", 1, init=0)
+        with pytest.raises(TimeoutError_):
+            dev.launch(kern, 1, 8, args=(data, out, flag), seed=1)
+        assert det.gave_up
+
+
+class TestCURD:
+    def test_fast_path_for_barrier_only(self):
+        def kern(ctx, data, out):
+            yield store(data, ctx.tid, 1)
+            yield syncthreads()
+            v = yield load(data, ctx.block_id * ctx.block_dim
+                           + (ctx.tid_in_block + 1) % ctx.block_dim)
+            yield store(out, ctx.tid, v)
+
+        dev = fresh_device()
+        curd = dev.add_tool(CURD())
+        data = dev.alloc("data", 16, init=0)
+        out = dev.alloc("out", 16, init=0)
+        dev.launch(kern, 2, 8, args=(data, out))
+        assert not curd.fallback
+
+    def test_atomics_trigger_fallback(self):
+        def kern(ctx, counter):
+            yield atomic_add(counter, 0, 1)
+
+        dev = fresh_device()
+        curd = dev.add_tool(CURD())
+        counter = dev.alloc("counter", 1, init=0)
+        dev.launch(kern, 1, 4, args=(counter,))
+        assert curd.fallback
+
+    def test_fences_trigger_fallback(self):
+        def kern(ctx, data):
+            yield store(data, ctx.tid, 1)
+            yield fence_device()
+
+        dev = fresh_device()
+        curd = dev.add_tool(CURD())
+        data = dev.alloc("data", 4, init=0)
+        dev.launch(kern, 1, 4, args=(data,))
+        assert curd.fallback
+
+    def test_fast_path_is_cheaper(self):
+        def barrier_kern(ctx, data):
+            for _ in range(4):
+                yield store(data, ctx.tid, 1)
+                yield syncthreads()
+
+        def measure(tool_cls):
+            dev = fresh_device()
+            dev.add_tool(tool_cls())
+            data = dev.alloc("data", 8, init=0)
+            run = dev.launch(barrier_kern, 1, 8, args=(data,))
+            return run.overhead
+
+        assert measure(CURD) < measure(Barracuda)
+
+    def test_detection_still_works_on_fast_path(self):
+        def kern(ctx, data, out):
+            yield store(data, 0, ctx.tid)  # all threads, same word, no sync
+            v = yield load(data, 0)
+            yield store(out, ctx.tid, v)
+
+        dev = fresh_device()
+        curd = dev.add_tool(CURD())
+        data = dev.alloc("data", 1, init=0)
+        out = dev.alloc("out", 16, init=0)
+        dev.launch(kern, 2, 8, args=(data, out), seed=2)
+        assert curd.race_count >= 1

@@ -1,0 +1,110 @@
+"""Unit and property tests for the packed bit-field machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitfield import BitField, BitStruct
+from repro.errors import ConfigError
+
+
+class TestBitField:
+    def test_width(self):
+        assert BitField("x", 7, 4).width == 4
+
+    def test_single_bit(self):
+        f = BitField("flag", 10, 10)
+        assert f.width == 1
+        assert f.mask == 1 << 10
+
+    def test_mask_position(self):
+        f = BitField("x", 5, 2)
+        assert f.mask == 0b111100
+
+    def test_max_value(self):
+        assert BitField("x", 9, 4).max_value == 63
+
+    def test_extract(self):
+        f = BitField("x", 11, 8)
+        assert f.extract(0xA00) == 0xA
+
+    def test_insert(self):
+        f = BitField("x", 11, 8)
+        assert f.insert(0, 0xA) == 0xA00
+
+    def test_insert_preserves_other_bits(self):
+        f = BitField("x", 11, 8)
+        word = 0xF0F0
+        assert f.insert(word, 0) == 0xF0F0 & ~f.mask
+
+    def test_insert_truncates(self):
+        f = BitField("x", 3, 0)
+        assert f.extract(f.insert(0, 0x1F)) == 0xF
+
+    def test_truncation_wraps_like_counter(self):
+        # Narrow counters wrap exactly at the field width (section 6.7).
+        f = BitField("ctr", 5, 0)  # 6-bit
+        assert f.extract(f.insert(0, 64)) == 0
+        assert f.extract(f.insert(0, 65)) == 1
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigError):
+            BitField("bad", 2, 5)
+
+    def test_out_of_word_rejected(self):
+        with pytest.raises(ConfigError):
+            BitField("bad", 64, 60)
+
+
+class TestBitStruct:
+    def _struct(self):
+        return BitStruct(
+            "s",
+            [BitField("hi", 63, 56), BitField("mid", 31, 16), BitField("lo", 3, 0)],
+        )
+
+    def test_pack_unpack_roundtrip(self):
+        s = self._struct()
+        word = s.pack(hi=0xAB, mid=0x1234, lo=0x5)
+        assert s.unpack(word) == {"hi": 0xAB, "mid": 0x1234, "lo": 0x5}
+
+    def test_get(self):
+        s = self._struct()
+        assert s.get(s.pack(mid=77), "mid") == 77
+
+    def test_set_only_touches_named_field(self):
+        s = self._struct()
+        word = s.pack(hi=1, mid=2, lo=3)
+        word = s.set(word, "mid", 9)
+        assert s.unpack(word) == {"hi": 1, "mid": 9, "lo": 3}
+
+    def test_contains(self):
+        s = self._struct()
+        assert "hi" in s
+        assert "nope" not in s
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            BitStruct("bad", [BitField("a", 7, 0), BitField("b", 4, 4)])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigError):
+            BitStruct("bad", [BitField("a", 7, 0), BitField("a", 15, 8)])
+
+    @given(
+        hi=st.integers(0, 0xFF),
+        mid=st.integers(0, 0xFFFF),
+        lo=st.integers(0, 0xF),
+    )
+    def test_roundtrip_property(self, hi, mid, lo):
+        s = self._struct()
+        word = s.pack(hi=hi, mid=mid, lo=lo)
+        assert s.get(word, "hi") == hi
+        assert s.get(word, "mid") == mid
+        assert s.get(word, "lo") == lo
+        assert word < (1 << 64)
+
+    @given(value=st.integers(0, (1 << 64) - 1), new=st.integers(0, 0xFFFF))
+    def test_set_is_idempotent(self, value, new):
+        s = self._struct()
+        once = s.set(value, "mid", new)
+        assert s.set(once, "mid", new) == once

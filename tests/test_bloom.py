@@ -1,0 +1,89 @@
+"""Tests for the 16-bit lock-summary Bloom filter."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.bloom import BloomFilter16
+from repro.common.hashing import address_hash18
+
+
+class TestBloomBasics:
+    def test_empty(self):
+        assert BloomFilter16().empty
+        assert BloomFilter16().bits == 0
+
+    def test_add_sets_bits(self):
+        b = BloomFilter16()
+        b.add(0x1000)
+        assert not b.empty
+        assert bin(b.bits).count("1") <= 2
+
+    def test_might_contain_after_add(self):
+        b = BloomFilter16()
+        b.add(42)
+        assert b.might_contain(42)
+
+    def test_of_builds_from_iterable(self):
+        b = BloomFilter16.of([1, 2, 3])
+        for x in (1, 2, 3):
+            assert b.might_contain(x)
+
+    def test_intersects_requires_shared_bit(self):
+        assert not BloomFilter16().intersects(BloomFilter16())
+
+    def test_same_lock_always_intersects(self):
+        a = BloomFilter16.of([77])
+        b = BloomFilter16.of([77])
+        assert a.intersects(b)
+
+    def test_int_conversion(self):
+        b = BloomFilter16.of([5])
+        assert int(b) == b.bits
+
+    def test_equality_with_int(self):
+        b = BloomFilter16.of([5])
+        assert b == b.bits
+
+    def test_equality_with_bloom(self):
+        assert BloomFilter16.of([5]) == BloomFilter16.of([5])
+
+    def test_stays_16_bits(self):
+        b = BloomFilter16()
+        for x in range(100):
+            b.add(x)
+        assert b.bits <= 0xFFFF
+
+
+class TestBloomForLocksets:
+    """Properties race check R5 relies on."""
+
+    def test_adjacent_locks_disjoint(self):
+        # Locks in adjacent words (hash18 residues differing mod 8) must
+        # have disjoint summaries, so per-thread locking races (Figure 9)
+        # are not masked by phantom intersections.
+        for i in range(7):
+            a = BloomFilter16.of([address_hash18(0x1000 + 4 * i)])
+            b = BloomFilter16.of([address_hash18(0x1000 + 4 * (i + 1))])
+            assert not a.intersects(b), f"adjacent locks {i},{i+1} collide"
+
+    @given(st.integers(0, 1 << 18), st.integers(0, 1 << 18))
+    def test_no_false_negative(self, x, y):
+        # A genuinely shared element always intersects: R5 cannot produce
+        # a false positive from the Bloom encoding.
+        a = BloomFilter16.of([x, y])
+        b = BloomFilter16.of([x])
+        assert a.intersects(b)
+
+    @given(st.lists(st.integers(0, 1 << 18), min_size=1, max_size=3))
+    def test_membership_no_false_negative(self, xs):
+        b = BloomFilter16.of(xs)
+        for x in xs:
+            assert b.might_contain(x)
+
+    @given(st.lists(st.integers(0, 1 << 18), max_size=3))
+    def test_bits_monotone_under_union(self, xs):
+        b = BloomFilter16()
+        prev = 0
+        for x in xs:
+            b.add(x)
+            assert b.bits & prev == prev  # bits are never cleared
+            prev = b.bits

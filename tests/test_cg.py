@@ -1,0 +1,130 @@
+"""Tests for the Cooperative Groups layer."""
+
+import pytest
+
+from repro import cg
+from repro.core import IGuard, RaceType
+from repro.gpu.instructions import load, store
+
+from tests.conftest import fresh_device
+
+
+def _alloc_barrier(dev):
+    return dev.alloc("grid_barrier", cg.GridBarrier.NUM_WORDS, init=0)
+
+
+class TestGroups:
+    def test_thread_block_rank(self):
+        dev = fresh_device()
+        out = dev.alloc("out", 8, init=-1)
+
+        def kern(ctx, out):
+            block = cg.this_thread_block(ctx)
+            yield store(out, ctx.tid, block.thread_rank())
+
+        dev.launch(kern, 2, 4, args=(out,))
+        assert out.to_list() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_sync_is_barrier(self):
+        dev = fresh_device()
+        data = dev.alloc("data", 4, init=0)
+        out = dev.alloc("out", 4, init=0)
+
+        def kern(ctx, data, out):
+            block = cg.this_thread_block(ctx)
+            yield store(data, ctx.tid, ctx.tid * 2)
+            yield from block.sync()
+            v = yield load(data, (ctx.tid + 1) % 4)
+            yield store(out, ctx.tid, v)
+
+        dev.launch(kern, 1, 4, args=(data, out), seed=5)
+        assert out.to_list() == [2, 4, 6, 0]
+
+    def test_tiled_partition_sync(self):
+        dev = fresh_device()
+        data = dev.alloc("data", 4, init=0)
+        out = dev.alloc("out", 4, init=0)
+
+        def kern(ctx, data, out):
+            block = cg.this_thread_block(ctx)
+            tile = cg.tiled_partition(block, 4)
+            yield store(data, tile.thread_rank(), ctx.lane + 7)
+            yield from tile.sync()
+            v = yield load(data, (tile.thread_rank() + 1) % 4)
+            yield store(out, ctx.lane, v)
+
+        dev.launch(kern, 1, 4, args=(data, out), seed=3)
+        assert out.to_list() == [8, 9, 10, 7]
+
+    def test_grid_group_size_and_rank(self):
+        dev = fresh_device()
+        bar = _alloc_barrier(dev)
+        out = dev.alloc("out", 8, init=0)
+
+        def kern(ctx, bar, out):
+            grid = cg.this_grid(ctx, cg.GridBarrier(bar))
+            yield store(out, grid.thread_rank(), grid.size)
+
+        dev.launch(kern, 2, 4, args=(bar, out))
+        assert out.to_list() == [8] * 8
+
+
+class TestGridSync:
+    def _run(self, racy, seed=1):
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        bar = _alloc_barrier(dev)
+        data = dev.alloc("data", 8, init=0)
+        out = dev.alloc("out", 8, init=0)
+
+        def kern(ctx, bar, data, out):
+            grid = cg.this_grid(ctx, cg.GridBarrier(bar))
+            yield store(data, ctx.tid, ctx.tid + 1)
+            if racy:
+                yield from grid.sync_racy()
+            else:
+                yield from grid.sync()
+            partner = (ctx.tid + ctx.block_dim) % ctx.num_threads
+            v = yield load(data, partner)
+            yield store(out, ctx.tid, v)
+
+        dev.launch(kern, 2, 4, args=(bar, data, out), seed=seed)
+        return det, out
+
+    def test_correct_sync_race_free_and_functional(self):
+        det, out = self._run(racy=False)
+        assert det.race_count == 0
+        assert out.to_list() == [5, 6, 7, 8, 1, 2, 3, 4]
+
+    def test_racy_sync_reports_dr(self):
+        det, _ = self._run(racy=True)
+        assert det.race_count == 1
+        assert {t for _, t in det.races.sites()} == {RaceType.INTER_BLOCK}
+
+    def test_correct_sync_race_free_across_seeds(self):
+        for seed in range(6):
+            det, _ = self._run(racy=False, seed=seed)
+            assert det.race_count == 0, f"false positive at seed {seed}"
+
+    def test_barrier_reusable(self):
+        # Generation counting: the same barrier state supports many syncs.
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        bar = _alloc_barrier(dev)
+        data = dev.alloc("data", 8, init=0)
+
+        def kern(ctx, bar, data):
+            grid = cg.this_grid(ctx, cg.GridBarrier(bar))
+            for round_ in range(3):
+                yield store(data, ctx.tid, round_)
+                yield from grid.sync()
+
+        run = dev.launch(kern, 2, 4, args=(bar, data), seed=2)
+        assert not run.timed_out
+        assert det.race_count == 0
+        assert data.to_list() == [2] * 8
+
+    def test_grid_barrier_alloc_helper(self):
+        dev = fresh_device()
+        barrier = cg.GridBarrier.alloc(dev)
+        assert len(barrier.state) == cg.GridBarrier.NUM_WORDS

@@ -1,0 +1,81 @@
+"""Tests for the metadata-contention model (section 6.5)."""
+
+from repro.core.contention import ContentionModel, ContentionParams
+
+
+def model(backoff=True, window_warps=4):
+    return ContentionModel(
+        num_threads=64, concurrent_warps=window_warps, dynamic_backoff=backoff
+    )
+
+
+class TestContentionModel:
+    def test_first_access_free(self):
+        m = model()
+        assert m.on_metadata_access(granule=1, batch=0, warp_id=0) == 0.0
+
+    def test_single_thread_spin_free(self):
+        # A lone thread re-acquiring an uncontended metadata lock pays
+        # nothing: contention needs a *second warp*.
+        m = model()
+        total = sum(
+            m.on_metadata_access(granule=1, batch=b, warp_id=0)
+            for b in range(8)
+        )
+        assert total == 0.0
+        assert m.serialized_cycles == 0.0
+
+    def test_cross_warp_contention_costs(self):
+        m = model()
+        m.on_metadata_access(1, batch=0, warp_id=0)
+        cost = m.on_metadata_access(1, batch=1, warp_id=1)
+        assert cost > 0
+
+    def test_distinct_granules_independent(self):
+        m = model()
+        m.on_metadata_access(1, batch=0, warp_id=0)
+        assert m.on_metadata_access(2, batch=1, warp_id=1) == 0.0
+
+    def test_window_expiry_resets(self):
+        m = model(window_warps=2)  # window = 2 batches
+        m.on_metadata_access(1, batch=0, warp_id=0)
+        # Batch 10 is in a later window: the convoy has drained.
+        assert m.on_metadata_access(1, batch=10, warp_id=1) == 0.0
+
+    def test_quadratic_without_backoff(self):
+        m = model(backoff=False)
+        costs = [m.on_metadata_access(1, batch=0, warp_id=i % 3) for i in range(10)]
+        # Linear per-access growth => quadratic total (the convoy).
+        assert costs[-1] > costs[2] > 0
+
+    def test_backoff_flattens_growth(self):
+        with_bo = model(backoff=True)
+        without = model(backoff=False)
+        for i in range(32):
+            with_bo.on_metadata_access(1, batch=0, warp_id=i % 4)
+            without.on_metadata_access(1, batch=0, warp_id=i % 4)
+        assert with_bo.serialized_cycles < without.serialized_cycles / 4
+
+    def test_contended_access_count(self):
+        m = model()
+        for i in range(5):
+            m.on_metadata_access(1, batch=0, warp_id=i)
+        assert m.contended_accesses == 4  # first access never contends
+
+    def test_params_scale_costs(self):
+        cheap = ContentionModel(
+            64, 4, dynamic_backoff=False,
+            params=ContentionParams(retry_cost=1.0),
+        )
+        pricey = ContentionModel(
+            64, 4, dynamic_backoff=False,
+            params=ContentionParams(retry_cost=100.0),
+        )
+        for m in (cheap, pricey):
+            m.on_metadata_access(1, 0, 0)
+            m.on_metadata_access(1, 0, 1)
+        assert pricey.serialized_cycles == 100 * cheap.serialized_cycles
+
+    def test_window_at_least_one(self):
+        m = ContentionModel(1, 0, dynamic_backoff=True)
+        assert m.window == 1

@@ -1,0 +1,151 @@
+"""Correctness + property tests for the CUB-style block primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IGuard
+from repro.gpu.instructions import load, store
+from repro.workloads.cub_primitives import (
+    block_radix_sort,
+    block_reduce,
+    block_scan_exclusive,
+    block_scan_inclusive,
+    scratch_words_per_block,
+)
+
+from tests.conftest import fresh_device
+
+BLOCK = 8
+
+
+def run_primitive(values, body, grid=1, with_detector=True, seed=1):
+    """Launch a kernel that applies ``body`` per thread; return outputs."""
+    dev = fresh_device()
+    det = dev.add_tool(IGuard()) if with_detector else None
+    n = grid * BLOCK
+    data = dev.alloc("data", n, init=0)
+    data.load_list(list(values)[:n] + [0] * max(0, n - len(values)))
+    out = dev.alloc("out", n, init=0)
+    scratch = dev.alloc("scratch", grid * scratch_words_per_block(BLOCK), init=0)
+
+    def kern(ctx, data, out, scratch):
+        yield from body(ctx, data, out, scratch)
+
+    dev.launch(kern, grid, BLOCK, args=(data, out, scratch), seed=seed)
+    return out.to_list(), det
+
+
+class TestBlockReduce:
+    def _body(self, ctx, data, out, scratch):
+        v = yield load(data, ctx.tid)
+        total = yield from block_reduce(ctx, scratch, v)
+        yield store(out, ctx.tid, total)
+
+    def test_sum(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        out, det = run_primitive(values, self._body)
+        assert out == [sum(values)] * BLOCK
+        assert det.race_count == 0
+
+    def test_two_blocks_independent(self):
+        values = list(range(16))
+        out, det = run_primitive(values, self._body, grid=2)
+        assert out[:8] == [sum(range(8))] * 8
+        assert out[8:] == [sum(range(8, 16))] * 8
+        assert det.race_count == 0
+
+    @given(st.lists(st.integers(-100, 100), min_size=BLOCK, max_size=BLOCK))
+    @settings(max_examples=15, deadline=None)
+    def test_sum_property(self, values):
+        out, _ = run_primitive(values, self._body, with_detector=False)
+        assert out == [sum(values)] * BLOCK
+
+
+class TestBlockScan:
+    def _inclusive(self, ctx, data, out, scratch):
+        v = yield load(data, ctx.tid)
+        prefix = yield from block_scan_inclusive(ctx, scratch, v)
+        yield store(out, ctx.tid, prefix)
+
+    def _exclusive(self, ctx, data, out, scratch):
+        v = yield load(data, ctx.tid)
+        prefix = yield from block_scan_exclusive(ctx, scratch, v)
+        yield store(out, ctx.tid, prefix)
+
+    def test_inclusive(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8]
+        out, det = run_primitive(values, self._inclusive)
+        assert out == [1, 3, 6, 10, 15, 21, 28, 36]
+        assert det.race_count == 0
+
+    def test_exclusive(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8]
+        out, det = run_primitive(values, self._exclusive)
+        assert out == [0, 1, 3, 6, 10, 15, 21, 28]
+        assert det.race_count == 0
+
+    @given(st.lists(st.integers(-50, 50), min_size=BLOCK, max_size=BLOCK))
+    @settings(max_examples=15, deadline=None)
+    def test_inclusive_property(self, values):
+        out, _ = run_primitive(values, self._inclusive, with_detector=False)
+        expect, acc = [], 0
+        for v in values:
+            acc += v
+            expect.append(acc)
+        assert out == expect
+
+    @given(st.lists(st.integers(0, 50), min_size=BLOCK, max_size=BLOCK),
+           st.integers(0, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_scan_reduce_consistency(self, values, idx):
+        # inclusive[i] - exclusive[i] == values[i]
+        inc, _ = run_primitive(values, self._inclusive, with_detector=False)
+        exc, _ = run_primitive(values, self._exclusive, with_detector=False)
+        assert inc[idx] - exc[idx] == values[idx]
+
+
+class TestBlockRadixSort:
+    def _body(self, ctx, data, out, scratch):
+        base = ctx.block_id * ctx.block_dim
+        key = yield from block_radix_sort(ctx, scratch, base, data, key_bits=6)
+        yield store(out, ctx.tid, key)
+
+    def test_sorts(self):
+        values = [13, 2, 60, 7, 7, 41, 0, 9]
+        out, det = run_primitive(values, self._body)
+        assert out == sorted(values)
+        assert det.race_count == 0
+
+    def test_in_place_result(self):
+        values = [5, 4, 3, 2, 1, 0, 7, 6]
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        data = dev.alloc("data", BLOCK, init=0)
+        data.load_list(values)
+        scratch = dev.alloc("scratch", scratch_words_per_block(BLOCK), init=0)
+
+        def kern(ctx, data, scratch):
+            yield from block_radix_sort(ctx, scratch, 0, data, key_bits=3)
+
+        dev.launch(kern, 1, BLOCK, args=(data, scratch), seed=2)
+        assert data.to_list() == sorted(values)
+        assert det.race_count == 0
+
+    @given(st.lists(st.integers(0, 63), min_size=BLOCK, max_size=BLOCK))
+    @settings(max_examples=10, deadline=None)
+    def test_sort_property(self, values):
+        out, _ = run_primitive(values, self._body, with_detector=False)
+        assert out == sorted(values)
+
+    def test_race_free_across_seeds(self):
+        values = [9, 1, 8, 2, 7, 3, 6, 4]
+        for seed in range(4):
+            out, det = run_primitive(values, self._body, seed=seed)
+            assert out == sorted(values)
+            assert det.race_count == 0
+
+
+class TestScratchSizing:
+    def test_scratch_words(self):
+        assert scratch_words_per_block(8) == 18
+        assert scratch_words_per_block(32) == 66

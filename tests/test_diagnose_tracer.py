@@ -1,0 +1,155 @@
+"""Tests for the diagnosis module, the tracer tool, and JSON artifacts."""
+
+import json
+
+import pytest
+
+from repro.core import IGuard, RaceType
+from repro.core.diagnose import Diagnosis, diagnose, diagnose_all, report
+from repro.core.report import RaceRecord
+from repro.experiments.artifacts import export, _plain
+from repro.gpu.instructions import atomic_add, atomic_load, load, store, syncthreads
+from repro.instrument.tracer import Tracer
+
+from tests.conftest import fresh_device
+
+
+def _record(race_type=RaceType.INTER_BLOCK, ip="kern:7"):
+    return RaceRecord(
+        race_type=race_type, kernel="kern", ip=ip, access="load",
+        address=0x1000, location="data[0]", warp_id=1, lane=2, block_id=0,
+        prev_warp_id=3, prev_lane=0,
+    )
+
+
+class TestDiagnose:
+    @pytest.mark.parametrize(
+        "race_type,condition,fix_word",
+        [
+            (RaceType.ATOMIC_SCOPE, "R1", "scope"),
+            (RaceType.ITS, "R2", "__syncwarp"),
+            (RaceType.INTRA_BLOCK, "R3", "__syncthreads"),
+            (RaceType.INTER_BLOCK, "R4", "__threadfence"),
+            (RaceType.IMPROPER_LOCKING, "R5", "lock"),
+        ],
+    )
+    def test_every_type_has_condition_and_fix(self, race_type, condition, fix_word):
+        d = diagnose(_record(race_type))
+        assert d.condition == condition
+        assert fix_word in d.suggested_fix
+
+    def test_render_mentions_essentials(self):
+        text = diagnose(_record()).render()
+        for fragment in ("kern:7", "data[0]", "R4", "fix"):
+            assert fragment in text
+
+    def test_diagnose_all_dedups_sites(self):
+        records = [_record(ip="a"), _record(ip="a"), _record(ip="b")]
+        assert len(diagnose_all(records)) == 2
+
+    def test_report_from_detector(self):
+        def kern(ctx, data, flag, out):
+            if ctx.block_id == 0 and ctx.tid_in_block == 0:
+                yield store(data, 0, 1)
+                yield atomic_add(flag, 0, 1)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                while (yield atomic_load(flag, 0)) == 0:
+                    pass
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        data, flag, out = (dev.alloc(n, 1) for n in ("data", "flag", "out"))
+        dev.launch(kern, 2, 8, args=(data, flag, out), seed=1)
+        text = report(det)
+        assert "1 racy site(s)" in text
+        assert "R4" in text
+
+    def test_report_clean_detector(self):
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        assert report(det) == "No races detected."
+
+
+class TestTracer:
+    def _traced_run(self, **tracer_kwargs):
+        dev = fresh_device()
+        tracer = dev.add_tool(Tracer(**tracer_kwargs))
+        data = dev.alloc("data", 8, init=0)
+
+        def kern(ctx, data):
+            yield store(data, ctx.tid, ctx.tid)
+            yield syncthreads()
+            v = yield load(data, (ctx.tid + 1) % ctx.block_dim)
+            yield store(data, ctx.tid, v)
+
+        dev.launch(kern, 1, 8, args=(data,), seed=1)
+        return tracer
+
+    def test_records_memory_and_sync(self):
+        tracer = self._traced_run()
+        kinds = {l.kind for l in tracer.lines}
+        assert {"store", "load", "syncthreads"} <= kinds
+        assert len(tracer) == 8 + 1 + 8 + 8  # stores + barrier + loads + stores
+
+    def test_memory_only(self):
+        tracer = self._traced_run(memory_only=True)
+        assert all(l.kind in ("load", "store", "atomic") for l in tracer.lines)
+
+    def test_watchpoint_filter(self):
+        dev = fresh_device()
+        data = dev.alloc("data", 8, init=0)
+        tracer = dev.add_tool(Tracer(address_filter=data.addr_of(3)))
+
+        def kern(ctx, data):
+            yield store(data, ctx.tid, 1)
+
+        dev.launch(kern, 1, 8, args=(data,), seed=1)
+        assert len(tracer) == 1
+        assert "data[3]" in tracer.lines[0].detail
+
+    def test_limit_drops_oldest(self):
+        tracer = self._traced_run(limit=5)
+        assert len(tracer) == 5
+        assert tracer.dropped == 20
+
+    def test_render(self):
+        tracer = self._traced_run()
+        text = tracer.render(last=3)
+        assert "detail" in text.splitlines()[0]
+        assert len(text.splitlines()) == 4
+
+    def test_events_for_location(self):
+        tracer = self._traced_run()
+        hits = tracer.events_for("data[0]")
+        assert hits and all("data[0]" in l.detail for l in hits)
+
+    def test_load_values_visible(self):
+        tracer = self._traced_run()
+        loads = [l for l in tracer.lines if l.kind == "load"]
+        assert any("->" in l.detail for l in loads)
+
+
+class TestArtifacts:
+    def test_plain_handles_dataclasses_and_enums(self):
+        data = _plain(_record())
+        assert data["race_type"] == "DR"
+        assert data["location"] == "data[0]"
+
+    def test_export_motivation_is_json(self):
+        data = export("motivation")
+        json.dumps(data)  # must not raise
+        assert data["block_time"] > 0
+
+    def test_export_figure12_is_json(self):
+        data = export("figure12")
+        json.dumps(data)
+        assert len(data) == 8
+        assert all("baseline" in row for row in data)
+
+    def test_dump_to_file(self, tmp_path):
+        from repro.experiments.artifacts import dump
+        path = tmp_path / "artifacts.json"
+        data = dump(str(path), names=["motivation"])
+        assert json.loads(path.read_text()) == data

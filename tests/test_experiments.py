@@ -1,0 +1,229 @@
+"""Tests for the experiment harness: every table/figure regenerates with
+the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import (
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    motivation,
+    table1,
+    table4,
+    table5,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_matrix():
+    return table1.run()
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    return table4.run()
+
+
+@pytest.fixture(scope="module")
+def figure12_rows():
+    return figure12.run()
+
+
+class TestTable1:
+    def test_iguard_supports_everything(self, table1_matrix):
+        row = table1_matrix["iGUARD"]
+        for feature in table1.FEATURES:
+            assert row[feature] == "Yes"
+
+    def test_barracuda_row_matches_paper(self, table1_matrix):
+        row = table1_matrix["Barracuda"]
+        assert row["Sc. fence"] == "Yes"
+        assert row["Sc. atomic"] == "No"
+        assert row["ITS"] == "No"
+        assert row["CG"] == "No"
+
+    def test_scord_row_matches_paper(self, table1_matrix):
+        row = table1_matrix["ScoRD"]
+        assert row["Sc. fence"] == "Yes"
+        assert row["Sc. atomic"] == "Yes"
+        assert row["ITS"] == "No"
+        assert row["CG"] == "No"
+        assert row["Extra H/W"] == "Yes"
+
+    def test_only_iguard_detects_cg(self, table1_matrix):
+        cg_capable = [d for d, row in table1_matrix.items() if row["CG"] == "Yes"]
+        assert cg_capable == ["iGUARD"]
+
+    def test_render_contains_all_detectors(self, table1_matrix):
+        text = table1.render(table1_matrix)
+        for name in ("Barracuda", "CURD", "Simulee", "HaccRG", "ScoRD", "iGUARD"):
+            assert name in text
+
+
+class TestTable4:
+    def test_total_is_57(self, table4_rows):
+        assert table4.total_races(table4_rows) == 57
+
+    def test_22_applications(self, table4_rows):
+        assert len(table4_rows) == 22
+
+    def test_barracuda_mostly_unsupported(self, table4_rows):
+        unsupported = [r for r in table4_rows if r.barracuda == "Unsupported"]
+        assert len(unsupported) >= 15
+
+    def test_interac_marked_dnt(self, table4_rows):
+        row = next(r for r in table4_rows if r.name == "interac")
+        assert row.barracuda.endswith("*")
+
+    def test_cg_rows_labeled(self, table4_rows):
+        row = next(r for r in table4_rows if r.name == "conjugGMB")
+        assert row.types.startswith("CG (")
+
+    def test_render(self, table4_rows):
+        text = table4.render(table4_rows)
+        assert "57" in text
+        assert "grid_sync" in text
+
+
+class TestTable5:
+    def test_no_false_positives(self):
+        rows = table5.run(extra_seeds=())
+        assert table5.false_positives(rows) == []
+        assert len(rows) == 21
+        assert "No false positives." in table5.render(rows)
+
+
+class TestFigure12:
+    def test_eight_workloads(self, figure12_rows):
+        assert len(figure12_rows) == 8
+
+    def test_optimizations_help_everywhere(self, figure12_rows):
+        for row in figure12_rows:
+            assert row.improvement >= 1.0, row.name
+
+    def test_mean_improvement_substantial(self, figure12_rows):
+        # Paper: 7x average for this subset.
+        assert figure12.mean_improvement(figure12_rows) > 3.0
+
+    def test_conjuggmb_blowup(self, figure12_rows):
+        # Paper: 706x -> 6x.  The shape to hold: an enormous unoptimized
+        # overhead collapsing to a small one.
+        row = next(r for r in figure12_rows if r.name == "conjugGMB")
+        assert row.baseline > 100
+        assert row.optimized < 20
+        assert row.improvement > 25
+
+    def test_accuracy_unchanged_by_optimizations(self):
+        # "these optimizations did not affect the accuracy of race
+        # detection in any way."
+        from repro.core import IGuard
+        from repro.core.config import DEFAULT_CONFIG
+        from repro.workloads import get_workload, run_workload
+        w = get_workload("conjugGMB")
+        opt = run_workload(w, lambda: IGuard(), seeds=(1,))
+        base = run_workload(
+            w, lambda: IGuard(DEFAULT_CONFIG.without_optimizations()), seeds=(1,)
+        )
+        assert opt.races == base.races == w.expected_races
+
+    def test_render(self, figure12_rows):
+        assert "conjugGMB" in figure12.render(figure12_rows)
+
+
+class TestFigure13:
+    def test_every_suite_present(self):
+        rows = figure13.run()
+        suites = {r.suite for r in rows}
+        assert "ScoR" in suites and "Rodinia" in suites and "CUB" in suites
+
+    def test_fractions_sum_to_one(self):
+        rows = figure13.run()
+        for row in rows:
+            assert sum(row.fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_nvbit_is_key_contributor(self):
+        # "NVBit itself is often a key contributor."
+        rows = figure13.run()
+        big = [r for r in rows if r.fractions.get("nvbit", 0) > 0.2]
+        assert len(big) >= len(rows) // 2
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return figure14.run()
+
+    def test_barracuda_oom_past_8gb(self, points):
+        by_gb = {p.footprint_gb: p for p in points}
+        assert by_gb[4].barracuda is not None
+        assert by_gb[8].barracuda is None
+        assert by_gb[16].barracuda is None
+
+    def test_iguard_never_fails(self, points):
+        assert all(p.iguard is not None for p in points)
+
+    def test_iguard_flat_then_growing(self, points):
+        by_gb = {p.footprint_gb: p for p in points}
+        assert by_gb[1].iguard == pytest.approx(by_gb[2].iguard, rel=0.3)
+        assert by_gb[8].iguard > 3 * by_gb[4].iguard
+        assert by_gb[16].iguard > by_gb[8].iguard
+
+    def test_faults_appear_only_under_pressure(self, points):
+        by_gb = {p.footprint_gb: p for p in points}
+        assert by_gb[1].iguard_faults == 0
+        assert by_gb[16].iguard_faults > 0
+
+    def test_render(self, points):
+        text = figure14.render(points)
+        assert "Out of memory" in text
+
+
+class TestMotivation:
+    def test_fence_ratio_near_21x(self):
+        result = motivation.run()
+        assert 15.0 < result.ratio < 21.5
+
+    def test_render(self):
+        assert "21x" in motivation.render(motivation.run())
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return figure11.run()
+
+    def test_two_panels(self, panels):
+        assert set(panels) == {"a", "b"}
+
+    def test_panel_sizes(self, panels):
+        assert len(panels["a"].bars) == 22
+        assert len(panels["b"].bars) == 21
+
+    def test_iguard_average_near_paper(self, panels):
+        # Paper: 5.1x over all 42 workloads; 4.2x over the race-free set.
+        all_bars = panels["a"].bars + panels["b"].bars
+        overall = sum(b.iguard for b in all_bars) / len(all_bars)
+        assert 3.0 < overall < 9.0
+
+    def test_barracuda_average_much_higher(self, panels):
+        # Paper: 61x on the race-free panel where Barracuda runs.
+        mean_b = panels["b"].barracuda_mean()
+        assert mean_b is not None
+        assert mean_b > 25.0
+
+    def test_speedup_over_barracuda(self, panels):
+        # Paper headline: race detection sped up ~15x over Barracuda.
+        speedup = panels["b"].speedup_over_barracuda()
+        assert speedup is not None and speedup > 5.0
+
+    def test_barracuda_unsupported_on_racy_panel(self, panels):
+        unsupported = [
+            b for b in panels["a"].bars if b.barracuda_status == "unsupported"
+        ]
+        assert len(unsupported) >= 15
+
+    def test_render(self, panels):
+        text = figure11.render(panels)
+        assert "(a) applications with races" in text
+        assert "Unsupported" in text

@@ -1,0 +1,49 @@
+"""The acknowledged fixes, applied: the same workloads go race-free.
+
+The grid-sync family of Table 4 bugs (NVlib's grid_sync, CUB's
+cub_gridbar, the CG suite's conjugGMB) were acknowledged and fixed by
+their developers — the fix being a per-thread device fence before the
+barrier.  Each workload here runs in its *fixed* configuration and must
+report zero races, showing the detector separates the bug from the fix
+on the actual evaluation code.
+"""
+
+import pytest
+
+from repro.core import IGuard
+from repro.gpu.device import Device
+from repro.workloads.base import SIM_GPU
+from repro.workloads.cg_suite import run_conjug_gmb_fixed
+from repro.workloads.cub import run_cub_gridbar_fixed
+from repro.workloads.nvlib import run_grid_sync_fixed
+
+FIXED_DRIVERS = {
+    "grid_sync": run_grid_sync_fixed,
+    "cub_gridbar": run_cub_gridbar_fixed,
+    "conjugGMB": run_conjug_gmb_fixed,
+}
+
+
+@pytest.mark.parametrize("name,driver", FIXED_DRIVERS.items())
+class TestFixedVariants:
+    def test_race_free(self, name, driver):
+        device = Device(SIM_GPU)
+        detector = device.add_tool(IGuard())
+        driver(device, seed=1)
+        assert detector.race_count == 0, detector.races.sites()
+
+    def test_race_free_alternate_seed(self, name, driver):
+        device = Device(SIM_GPU)
+        detector = device.add_tool(IGuard())
+        driver(device, seed=23)
+        assert detector.race_count == 0, detector.races.sites()
+
+
+class TestFixRemovesExactlyTheBug:
+    """The racy and fixed variants differ by exactly the reported site."""
+
+    @pytest.mark.parametrize("name,driver", FIXED_DRIVERS.items())
+    def test_racy_variant_still_reports(self, name, driver):
+        from repro.workloads import get_workload, run_workload
+        racy = run_workload(get_workload(name), IGuard, seeds=(1,))
+        assert racy.races == get_workload(name).expected_races

@@ -1,0 +1,64 @@
+"""Tests for the hashing helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import address_hash18, bloom_hashes16, mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_zero_maps_to_zero(self):
+        assert mix64(0) == 0
+
+    def test_stays_64_bit(self):
+        assert mix64((1 << 64) - 1) < (1 << 64)
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_range(self, x):
+        assert 0 <= mix64(x) < (1 << 64)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_avalanche_on_increment(self, x):
+        # Adjacent inputs should differ in many bits (sanity, not proof).
+        diff = mix64(x) ^ mix64(x + 1)
+        assert bin(diff).count("1") >= 10
+
+
+class TestAddressHash18:
+    def test_range(self):
+        assert 0 <= address_hash18(0xDEADBEEF) < (1 << 18)
+
+    def test_adjacent_words_distinct(self):
+        # The lock table must distinguish adjacent lock variables.
+        assert address_hash18(0x1000) != address_hash18(0x1004)
+
+    def test_tracks_granule(self):
+        # Addresses within one 4-byte granule hash identically.
+        assert address_hash18(0x1000) == address_hash18(0x1003)
+
+    @given(st.integers(0, (1 << 40)))
+    def test_range_property(self, addr):
+        assert 0 <= address_hash18(addr) < (1 << 18)
+
+
+class TestBloomHashes16:
+    @given(st.integers(0, (1 << 18) - 1))
+    def test_positions_in_range(self, value):
+        b1, b2 = bloom_hashes16(value)
+        assert 0 <= b1 < 16
+        assert 0 <= b2 < 16
+
+    @given(st.integers(0, (1 << 18) - 1))
+    def test_pair_structure(self, value):
+        # The structured encoding assigns the pair {2k, 2k+1}.
+        b1, b2 = bloom_hashes16(value)
+        assert b2 == b1 + 1
+        assert b1 % 2 == 0
+
+    def test_distinct_residues_disjoint(self):
+        pairs = [set(bloom_hashes16(k)) for k in range(8)]
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert not (pairs[i] & pairs[j])

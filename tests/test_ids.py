@@ -1,0 +1,96 @@
+"""Tests for thread/warp/block identity arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LaunchError
+from repro.gpu.ids import Dim3, block_of_warp, locate, warps_in_block
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(4, 2, 3).count == 24
+
+    def test_defaults(self):
+        assert Dim3(8).count == 8
+
+    def test_of_int(self):
+        assert Dim3.of(5) == Dim3(5)
+
+    def test_of_tuple(self):
+        assert Dim3.of((2, 3)) == Dim3(2, 3)
+
+    def test_of_dim3(self):
+        d = Dim3(2)
+        assert Dim3.of(d) is d
+
+    def test_rejects_zero(self):
+        with pytest.raises(LaunchError):
+            Dim3(0)
+
+
+class TestLocate:
+    def test_first_thread(self):
+        loc = locate(0, threads_per_block=8, warp_size=4)
+        assert loc.block_id == 0
+        assert loc.warp_id == 0
+        assert loc.lane == 0
+        assert loc.tid_in_block == 0
+
+    def test_second_warp_of_block(self):
+        loc = locate(5, threads_per_block=8, warp_size=4)
+        assert loc.block_id == 0
+        assert loc.warp_in_block == 1
+        assert loc.warp_id == 1
+        assert loc.lane == 1
+
+    def test_second_block(self):
+        loc = locate(8, threads_per_block=8, warp_size=4)
+        assert loc.block_id == 1
+        assert loc.warp_id == 2  # global warp index
+        assert loc.tid_in_block == 0
+
+    def test_partial_warp_block(self):
+        # 6 threads per block with warp size 4: two warps, second partial.
+        loc = locate(5, threads_per_block=6, warp_size=4)
+        assert loc.warp_in_block == 1
+        assert loc.lane == 1
+
+    @given(
+        tid=st.integers(0, 10_000),
+        tpb=st.integers(1, 256),
+        ws=st.sampled_from([4, 8, 16, 32]),
+    )
+    def test_roundtrip_property(self, tid, tpb, ws):
+        loc = locate(tid, tpb, ws)
+        wpb = warps_in_block(tpb, ws)
+        # Reconstruct the linear tid from the components.
+        rebuilt = (
+            loc.block_id * tpb + loc.warp_in_block * ws + loc.lane
+        )
+        assert rebuilt == tid
+        # The metadata's block derivation must agree with the real block.
+        assert block_of_warp(loc.warp_id, wpb) == loc.block_id
+        assert 0 <= loc.lane < ws
+
+
+class TestWarpsInBlock:
+    def test_exact(self):
+        assert warps_in_block(32, 4) == 8
+
+    def test_rounds_up(self):
+        assert warps_in_block(33, 4) == 9
+
+    def test_single_thread(self):
+        assert warps_in_block(1, 32) == 1
+
+
+class TestBlockOfWarp:
+    def test_division(self):
+        assert block_of_warp(7, 4) == 1
+
+    def test_matches_paper_derivation(self):
+        # Section 6.2: block = WarpID / warps-per-block.
+        assert block_of_warp(0, 2) == 0
+        assert block_of_warp(1, 2) == 0
+        assert block_of_warp(2, 2) == 1

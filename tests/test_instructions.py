@@ -1,0 +1,126 @@
+"""Tests for the DSL instruction set and convenience constructors."""
+
+import pytest
+
+from repro.gpu.instructions import (
+    Atomic,
+    AtomicOp,
+    Compute,
+    Fence,
+    Load,
+    Scope,
+    Store,
+    Syncthreads,
+    Syncwarp,
+    apply_atomic,
+    atomic_add,
+    atomic_cas,
+    atomic_exch,
+    atomic_load,
+    atomic_max,
+    atomic_min,
+    compute,
+    fence,
+    fence_block,
+    fence_device,
+    load,
+    store,
+    syncthreads,
+    syncwarp,
+)
+from repro.gpu.memory import GlobalMemory
+
+
+@pytest.fixture
+def arr():
+    mem = GlobalMemory(1024 * 1024)
+    return mem.alloc("a", 16)
+
+
+class TestScope:
+    def test_system_collapses_to_device(self):
+        assert Scope.SYSTEM.effective is Scope.DEVICE
+
+    def test_device_covers_block(self):
+        assert Scope.DEVICE.covers(Scope.BLOCK)
+
+    def test_block_does_not_cover_device(self):
+        assert not Scope.BLOCK.covers(Scope.DEVICE)
+
+    def test_scope_covers_itself(self):
+        for s in Scope:
+            assert s.covers(s)
+
+
+class TestConstructors:
+    def test_load(self, arr):
+        instr = load(arr, 3)
+        assert isinstance(instr, Load)
+        assert instr.address == arr.addr_of(3)
+
+    def test_store(self, arr):
+        instr = store(arr, 2, 99)
+        assert isinstance(instr, Store)
+        assert instr.value == 99
+
+    def test_atomic_add_default_scope(self, arr):
+        instr = atomic_add(arr, 0, 1)
+        assert instr.op is AtomicOp.ADD
+        assert instr.scope is Scope.DEVICE
+
+    def test_atomic_add_block_scope(self, arr):
+        assert atomic_add(arr, 0, 1, scope=Scope.BLOCK).scope is Scope.BLOCK
+
+    def test_atomic_cas_carries_compare(self, arr):
+        instr = atomic_cas(arr, 0, 0, 1)
+        assert instr.op is AtomicOp.CAS
+        assert instr.compare == 0
+        assert instr.value == 1
+
+    def test_atomic_exch(self, arr):
+        assert atomic_exch(arr, 0, 0).op is AtomicOp.EXCH
+
+    def test_atomic_load_is_zero_add(self, arr):
+        instr = atomic_load(arr, 1)
+        assert instr.op is AtomicOp.ADD
+        assert instr.value == 0
+
+    def test_min_max(self, arr):
+        assert atomic_min(arr, 0, 1).op is AtomicOp.MIN
+        assert atomic_max(arr, 0, 1).op is AtomicOp.MAX
+
+    def test_fences(self):
+        assert fence().scope is Scope.DEVICE
+        assert fence_block().scope is Scope.BLOCK
+        assert fence_device().scope is Scope.DEVICE
+        assert isinstance(fence(Scope.BLOCK), Fence)
+
+    def test_barriers(self):
+        assert isinstance(syncthreads(), Syncthreads)
+        assert isinstance(syncwarp(), Syncwarp)
+        assert syncwarp(0b1010).mask == 0b1010
+
+    def test_compute(self):
+        assert compute(7).cycles == 7
+        assert isinstance(compute(), Compute)
+
+
+class TestApplyAtomic:
+    @pytest.mark.parametrize(
+        "op,old,value,compare,expected",
+        [
+            (AtomicOp.ADD, 10, 3, None, 13),
+            (AtomicOp.SUB, 10, 3, None, 7),
+            (AtomicOp.EXCH, 10, 3, None, 3),
+            (AtomicOp.CAS, 0, 9, 0, 9),
+            (AtomicOp.CAS, 5, 9, 0, 5),
+            (AtomicOp.MIN, 10, 3, None, 3),
+            (AtomicOp.MIN, 3, 10, None, 3),
+            (AtomicOp.MAX, 3, 10, None, 10),
+            (AtomicOp.OR, 0b0101, 0b0011, None, 0b0111),
+            (AtomicOp.AND, 0b0101, 0b0011, None, 0b0001),
+            (AtomicOp.XOR, 0b0101, 0b0011, None, 0b0110),
+        ],
+    )
+    def test_semantics(self, op, old, value, compare, expected):
+        assert apply_atomic(op, old, value, compare) == expected

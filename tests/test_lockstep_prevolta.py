@@ -1,0 +1,76 @@
+"""Pre-Volta lockstep behaviour (paper section 2.1).
+
+Before Independent Thread Scheduling, threads of a warp executed in
+lockstep; programs whose warp threads wait on each other *deadlock* on
+such hardware — the motivating example for ITS.  The lockstep scheduler
+reproduces this: the same kernel livelocks (hits the step budget) in
+lockstep mode and completes under ITS.
+"""
+
+import pytest
+
+from repro.gpu.arch import PRE_VOLTA, TEST_GPU, GPUConfig
+from repro.gpu.device import Device
+from repro.gpu.instructions import atomic_add, atomic_cas, atomic_exch, atomic_load, fence_device, load, store
+from repro.gpu.scheduler import SchedulerKind
+
+
+def _intra_warp_handoff(ctx, flag, out):
+    """Lane 1 produces; lane 0 spins for it — fine under ITS, fatal in
+    lockstep if the scheduler keeps replaying the spinning branch."""
+    if ctx.lane == 0:
+        while (yield atomic_load(flag, 0)) == 0:
+            pass
+        yield store(out, 0, 1)
+    elif ctx.lane == 1:
+        yield atomic_add(flag, 0, 1)
+
+
+class TestLockstepVsITS:
+    def test_handoff_completes_under_its(self):
+        dev = Device(TEST_GPU)
+        flag = dev.alloc("flag", 1, init=0)
+        out = dev.alloc("out", 1, init=0)
+        run = dev.launch(_intra_warp_handoff, 1, 4, args=(flag, out),
+                         scheduler=SchedulerKind.ITS, seed=3)
+        assert not run.timed_out
+        assert out.read(0) == 1
+
+    def test_handoff_livelocks_in_lockstep(self):
+        # The lockstep policy always runs the "furthest behind" group —
+        # lane 0's spin loop — so lane 1 never gets to set the flag:
+        # the pre-Volta deadlock, surfaced as a step-budget timeout.
+        dev = Device(PRE_VOLTA)
+        flag = dev.alloc("flag", 1, init=0)
+        out = dev.alloc("out", 1, init=0)
+        run = dev.launch(_intra_warp_handoff, 1, 4, args=(flag, out),
+                         max_batches=2_000)
+        assert run.timed_out
+        assert out.read(0) == 0
+
+    def test_per_thread_locks_livelock_in_lockstep(self):
+        # The paper's canonical ITS example: threads of one warp taking
+        # the same lock.  "Note that without ITS ... such programs would
+        # deadlock" (section 6.6).
+        def kern(ctx, locks, data):
+            while (yield atomic_cas(locks, 0, 0, 1)) != 0:
+                pass
+            yield fence_device()
+            v = yield load(data, 0)
+            yield store(data, 0, v + 1)
+            yield fence_device()
+            yield atomic_exch(locks, 0, 0)
+
+        dev = Device(PRE_VOLTA)
+        locks = dev.alloc("locks", 1, init=0)
+        data = dev.alloc("data", 1, init=0)
+        run = dev.launch(kern, 1, 4, args=(locks, data), max_batches=3_000)
+        assert run.timed_out  # the warp never escapes the CAS spin
+
+        # ...while ITS hardware completes it.
+        dev = Device(TEST_GPU)
+        locks = dev.alloc("locks", 1, init=0)
+        data = dev.alloc("data", 1, init=0)
+        run = dev.launch(kern, 1, 4, args=(locks, data), seed=5)
+        assert not run.timed_out
+        assert data.read(0) == 4

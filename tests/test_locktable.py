@@ -1,0 +1,116 @@
+"""Tests for lock tables and the section 6.3 inference protocol."""
+
+from repro.core.locktable import LockTable
+from repro.gpu.instructions import Scope
+
+
+class TestInsertActivate:
+    def test_insert_is_valid_not_active(self):
+        t = LockTable()
+        assert t.insert(0x1000, Scope.DEVICE)
+        entry = t.entries[0]
+        assert entry.valid and not entry.active
+
+    def test_fence_activates(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        assert t.activate(Scope.DEVICE) == 1
+        assert t.entries[0].active
+        assert t.holds_any()
+
+    def test_device_fence_activates_block_lock(self):
+        # "matching or narrower scope": a device fence completes a
+        # block-scope acquire.
+        t = LockTable()
+        t.insert(0x1000, Scope.BLOCK)
+        assert t.activate(Scope.DEVICE) == 1
+
+    def test_block_fence_does_not_activate_device_lock(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        assert t.activate(Scope.BLOCK) == 0
+        assert not t.holds_any()
+
+    def test_reinsert_same_lock_is_noop(self):
+        # A CAS retry loop inserts the same lock repeatedly.
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        t.insert(0x1000, Scope.DEVICE)
+        assert sum(e.valid for e in t.entries) == 1
+
+    def test_capacity_three(self):
+        t = LockTable()
+        for i in range(3):
+            assert t.insert(0x1000 + 4 * i, Scope.DEVICE)
+        assert not t.insert(0x2000, Scope.DEVICE)
+        assert t.overflows == 1
+
+    def test_activate_idempotent(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        t.activate(Scope.DEVICE)
+        assert t.activate(Scope.DEVICE) == 0
+
+
+class TestRelease:
+    def test_release_invalidates(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        t.activate(Scope.DEVICE)
+        assert t.release(0x1000, Scope.DEVICE)
+        assert not t.holds_any()
+        assert not t.entries[0].valid
+
+    def test_release_frees_slot(self):
+        t = LockTable()
+        for i in range(3):
+            t.insert(0x1000 + 4 * i, Scope.DEVICE)
+        t.release(0x1000, Scope.DEVICE)
+        assert t.insert(0x2000, Scope.DEVICE)
+
+    def test_release_unknown_lock(self):
+        t = LockTable()
+        assert not t.release(0x9999 * 4, Scope.DEVICE)
+
+    def test_release_without_fence_still_unlocks(self):
+        # "even if a programmer misses a threadfence, we will infer the
+        # atomicExch as unlock" (6.3).
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        assert t.release(0x1000, Scope.DEVICE)
+
+    def test_scope_mismatch_does_not_release(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.BLOCK)
+        assert not t.release(0x1000, Scope.DEVICE)
+
+
+class TestSummaries:
+    def test_bloom_of_held_locks(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        t.insert(0x1004, Scope.DEVICE)
+        t.activate(Scope.DEVICE)
+        bloom = t.locks_bloom()
+        assert not bloom.empty
+
+    def test_bloom_empty_when_inactive(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        assert t.locks_bloom().empty  # acquired but not yet fenced
+
+    def test_held_hashes(self):
+        t = LockTable()
+        t.insert(0x1000, Scope.DEVICE)
+        t.activate(Scope.DEVICE)
+        assert len(t.held_hashes()) == 1
+
+    def test_same_lock_same_summary(self):
+        a, b = LockTable(), LockTable()
+        for t in (a, b):
+            t.insert(0x1000, Scope.DEVICE)
+            t.activate(Scope.DEVICE)
+        assert a.locks_bloom() == b.locks_bloom()
+
+    def test_is_thread_default_false(self):
+        assert not LockTable().is_thread

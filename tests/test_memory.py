@@ -1,0 +1,194 @@
+"""Tests for the simulated global memory."""
+
+import pytest
+
+from repro.errors import InvalidAddressError, OutOfMemoryError
+from repro.gpu.instructions import AtomicOp, Scope
+from repro.gpu.memory import WORD_BYTES, GlobalMemory
+
+MiB = 1024 * 1024
+
+
+def make_memory(weak=False, capacity=4 * MiB):
+    return GlobalMemory(capacity, weak_visibility=weak)
+
+
+class TestAllocation:
+    def test_alloc_returns_array(self):
+        mem = make_memory()
+        arr = mem.alloc("a", 16)
+        assert len(arr) == 16
+        assert arr.name == "a"
+
+    def test_alloc_initializes(self):
+        mem = make_memory()
+        arr = mem.alloc("a", 4, init=7)
+        assert arr.to_list() == [7, 7, 7, 7]
+
+    def test_alloc_no_init(self):
+        mem = make_memory()
+        arr = mem.alloc("a", 4, init=None)
+        assert arr.read(0) == 0  # untouched words read as zero
+
+    def test_alloc_tracks_bytes(self):
+        mem = make_memory()
+        mem.alloc("a", 16)
+        assert mem.bytes_allocated == 16 * WORD_BYTES
+
+    def test_oom(self):
+        mem = make_memory(capacity=1024)
+        with pytest.raises(OutOfMemoryError):
+            mem.alloc("big", 1024)
+
+    def test_allocations_disjoint(self):
+        mem = make_memory()
+        a = mem.alloc("a", 8)
+        b = mem.alloc("b", 8)
+        ranges = [(a.base, a.base + 8 * WORD_BYTES), (b.base, b.base + 8 * WORD_BYTES)]
+        assert ranges[0][1] <= ranges[1][0] or ranges[1][1] <= ranges[0][0]
+
+    def test_alloc_hook_invoked(self):
+        mem = make_memory()
+        seen = []
+        mem.alloc_hooks.append(seen.append)
+        mem.alloc("a", 4)
+        assert len(seen) == 1 and seen[0].name == "a"
+
+    def test_owner_of(self):
+        mem = make_memory()
+        a = mem.alloc("a", 4)
+        assert mem.owner_of(a.addr_of(2)).name == "a"
+        assert mem.owner_of(0x10) is None
+
+    def test_describe(self):
+        mem = make_memory()
+        a = mem.alloc("data", 8)
+        assert mem.describe(a.addr_of(3)) == "data[3]"
+
+    def test_describe_unknown(self):
+        mem = make_memory()
+        assert mem.describe(0x10).startswith("0x")
+
+
+class TestArrayAccess:
+    def test_bounds_check(self):
+        mem = make_memory()
+        a = mem.alloc("a", 4)
+        with pytest.raises(InvalidAddressError):
+            a.addr_of(4)
+        with pytest.raises(InvalidAddressError):
+            a.addr_of(-1)
+
+    def test_host_read_write(self):
+        mem = make_memory()
+        a = mem.alloc("a", 2)
+        a.write(1, 99)
+        assert a.read(1) == 99
+
+    def test_fill(self):
+        mem = make_memory()
+        a = mem.alloc("a", 3)
+        a.fill(5)
+        assert a.to_list() == [5, 5, 5]
+
+    def test_load_list(self):
+        mem = make_memory()
+        a = mem.alloc("a", 3)
+        a.load_list([1, 2, 3])
+        assert a.to_list() == [1, 2, 3]
+
+
+class TestDeviceAccess:
+    def test_store_then_load(self):
+        mem = make_memory()
+        a = mem.alloc("a", 2)
+        mem.device_store(a.addr_of(0), 42, block_id=0)
+        assert mem.device_load(a.addr_of(0), block_id=0) == 42
+
+    def test_unaligned_rejected(self):
+        mem = make_memory()
+        a = mem.alloc("a", 2)
+        with pytest.raises(InvalidAddressError):
+            mem.device_load(a.addr_of(0) + 1, block_id=0)
+
+    def test_wild_access_rejected(self):
+        mem = make_memory()
+        with pytest.raises(InvalidAddressError):
+            mem.device_load(0x10, block_id=0)
+
+    def test_atomic_add_returns_old(self):
+        mem = make_memory()
+        a = mem.alloc("a", 1, init=10)
+        old = mem.device_atomic(AtomicOp.ADD, a.addr_of(0), 5, block_id=0)
+        assert old == 10
+        assert mem.host_read(a.addr_of(0)) == 15
+
+    def test_atomic_cas_success(self):
+        mem = make_memory()
+        a = mem.alloc("a", 1, init=0)
+        old = mem.device_atomic(AtomicOp.CAS, a.addr_of(0), 1, 0, compare=0)
+        assert old == 0
+        assert mem.host_read(a.addr_of(0)) == 1
+
+    def test_atomic_cas_failure(self):
+        mem = make_memory()
+        a = mem.alloc("a", 1, init=7)
+        old = mem.device_atomic(AtomicOp.CAS, a.addr_of(0), 1, 0, compare=0)
+        assert old == 7
+        assert mem.host_read(a.addr_of(0)) == 7
+
+    def test_atomic_min_max(self):
+        mem = make_memory()
+        a = mem.alloc("a", 1, init=5)
+        mem.device_atomic(AtomicOp.MIN, a.addr_of(0), 3, block_id=0)
+        assert mem.host_read(a.addr_of(0)) == 3
+        mem.device_atomic(AtomicOp.MAX, a.addr_of(0), 9, block_id=0)
+        assert mem.host_read(a.addr_of(0)) == 9
+
+
+class TestWeakVisibility:
+    """The optional store-buffer mode for scoped-race manifestation."""
+
+    def test_own_block_sees_buffered_store(self):
+        mem = make_memory(weak=True)
+        a = mem.alloc("a", 1, init=0)
+        mem.device_store(a.addr_of(0), 1, block_id=0)
+        assert mem.device_load(a.addr_of(0), block_id=0) == 1
+
+    def test_other_block_sees_stale_value(self):
+        mem = make_memory(weak=True)
+        a = mem.alloc("a", 1, init=0)
+        mem.device_store(a.addr_of(0), 1, block_id=0)
+        assert mem.device_load(a.addr_of(0), block_id=1) == 0
+
+    def test_flush_publishes(self):
+        mem = make_memory(weak=True)
+        a = mem.alloc("a", 1, init=0)
+        mem.device_store(a.addr_of(0), 1, block_id=0)
+        mem.flush_block(0)
+        assert mem.device_load(a.addr_of(0), block_id=1) == 1
+
+    def test_block_scoped_atomic_stays_buffered(self):
+        mem = make_memory(weak=True)
+        a = mem.alloc("a", 1, init=0)
+        mem.device_atomic(
+            AtomicOp.ADD, a.addr_of(0), 1, block_id=0, scope=Scope.BLOCK
+        )
+        assert mem.device_load(a.addr_of(0), block_id=1) == 0
+        assert mem.device_load(a.addr_of(0), block_id=0) == 1
+
+    def test_device_scoped_atomic_publishes_block(self):
+        mem = make_memory(weak=True)
+        a = mem.alloc("a", 2, init=0)
+        mem.device_store(a.addr_of(1), 5, block_id=0)
+        mem.device_atomic(AtomicOp.ADD, a.addr_of(0), 1, block_id=0, scope=Scope.DEVICE)
+        # The device atomic flushed block 0's pending stores.
+        assert mem.device_load(a.addr_of(1), block_id=1) == 5
+
+    def test_flush_all(self):
+        mem = make_memory(weak=True)
+        a = mem.alloc("a", 2, init=0)
+        mem.device_store(a.addr_of(0), 1, block_id=0)
+        mem.device_store(a.addr_of(1), 2, block_id=1)
+        mem.flush_all()
+        assert a.to_list() == [1, 2]

@@ -1,0 +1,165 @@
+"""Tests for the Figure 4 memory-metadata layout."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.metadata import (
+    ACCESSOR_WORD,
+    BLK_BAR_BITS,
+    BLK_FENCE_BITS,
+    DEV_FENCE_BITS,
+    TAG_BITS,
+    WARP_BAR_BITS,
+    WRITER_WORD,
+    MetadataEntry,
+    MetadataTable,
+)
+
+
+class TestLayout:
+    """The bit positions printed in Figure 4."""
+
+    def test_accessor_field_positions(self):
+        f = ACCESSOR_WORD.field
+        assert (f("Tag").hi, f("Tag").lo) == (63, 54)
+        assert (f("WarpID").hi, f("WarpID").lo) == (45, 31)
+        assert (f("ThreadID").hi, f("ThreadID").lo) == (30, 26)
+        assert (f("DevFenceID").hi, f("DevFenceID").lo) == (25, 20)
+        assert (f("BlkFenceID").hi, f("BlkFenceID").lo) == (19, 14)
+        assert (f("BlkBarID").hi, f("BlkBarID").lo) == (13, 6)
+        assert (f("WarpBarID").hi, f("WarpBarID").lo) == (5, 0)
+
+    def test_flag_bits_inside_53_48(self):
+        for name in ("Valid", "Modified", "Atomic", "Scope", "DevShared", "BlkShared"):
+            field = ACCESSOR_WORD.field(name)
+            assert field.width == 1
+            assert 48 <= field.lo <= 53
+
+    def test_writer_locks_position(self):
+        f = WRITER_WORD.field("Locks")
+        assert (f.hi, f.lo) == (63, 48)
+
+    def test_counter_widths(self):
+        # 6-bit fences, 8-bit block barrier, 6-bit warp barrier (6.7
+        # discusses exactly these widths wrapping).
+        assert DEV_FENCE_BITS == 6
+        assert BLK_FENCE_BITS == 6
+        assert BLK_BAR_BITS == 8
+        assert WARP_BAR_BITS == 6
+        assert TAG_BITS == 10
+
+    def test_entry_is_16_bytes(self):
+        # Two 64-bit words: the paper's 16-byte entry (4x overhead per
+        # 4-byte granule).
+        table = MetadataTable()
+        assert table.entry_bytes == 16
+
+
+class TestMetadataEntry:
+    def test_fresh_entry_invalid(self):
+        assert not MetadataEntry().valid
+
+    def test_set_accessor_validates(self):
+        e = MetadataEntry()
+        e.set_accessor(tag=5, warp_id=3, lane=2, dev_fence=1, blk_fence=0,
+                       blk_bar=7, warp_bar=4)
+        assert e.valid
+        view = e.last_accessor
+        assert view.warp_id == 3
+        assert view.lane == 2
+        assert view.dev_fence == 1
+        assert view.blk_bar == 7
+        assert view.warp_bar == 4
+        assert e.tag == 5
+
+    def test_set_writer(self):
+        e = MetadataEntry()
+        e.set_writer(warp_id=9, lane=1, dev_fence=2, blk_fence=3,
+                     blk_bar=4, warp_bar=5, locks=0xABCD)
+        w = e.last_writer
+        assert w.warp_id == 9
+        assert w.locks == 0xABCD
+
+    def test_flags(self):
+        e = MetadataEntry()
+        for flag in ("Modified", "Atomic", "Scope", "DevShared", "BlkShared"):
+            e.set_flag(flag, True)
+        assert e.modified and e.atomic and e.scope_is_block
+        assert e.dev_shared and e.blk_shared
+        e.set_flag("Atomic", False)
+        assert not e.atomic
+
+    def test_accessor_update_preserves_flags(self):
+        e = MetadataEntry()
+        e.set_flag("Modified", True)
+        e.set_accessor(tag=1, warp_id=1, lane=1, dev_fence=0, blk_fence=0,
+                       blk_bar=0, warp_bar=0)
+        assert e.modified
+
+    def test_counter_wraparound(self):
+        # Storing counter value 256 into the 8-bit BlkBarID aliases 0 —
+        # the 6.7 false-positive/negative window.
+        e = MetadataEntry()
+        e.set_accessor(tag=0, warp_id=0, lane=0, dev_fence=0, blk_fence=0,
+                       blk_bar=256, warp_bar=64)
+        assert e.last_accessor.blk_bar == 0
+        assert e.last_accessor.warp_bar == 0
+
+    def test_block_derivation(self):
+        e = MetadataEntry()
+        e.set_accessor(tag=0, warp_id=5, lane=0, dev_fence=0, blk_fence=0,
+                       blk_bar=0, warp_bar=0)
+        assert e.last_accessor.block_id(warps_per_block=2) == 2
+
+    @given(
+        warp=st.integers(0, (1 << 15) - 1),
+        lane=st.integers(0, 31),
+        dev=st.integers(0, 63),
+        blk=st.integers(0, 63),
+        bar=st.integers(0, 255),
+        wbar=st.integers(0, 63),
+    )
+    def test_accessor_roundtrip_property(self, warp, lane, dev, blk, bar, wbar):
+        e = MetadataEntry()
+        e.set_accessor(tag=0, warp_id=warp, lane=lane, dev_fence=dev,
+                       blk_fence=blk, blk_bar=bar, warp_bar=wbar)
+        v = e.last_accessor
+        assert (v.warp_id, v.lane, v.dev_fence, v.blk_fence, v.blk_bar,
+                v.warp_bar) == (warp, lane, dev, blk, bar, wbar)
+
+
+class TestMetadataTable:
+    def test_granularity(self):
+        t = MetadataTable(granularity_bytes=4)
+        assert t.granule_of(0x1000) == t.granule_of(0x1003)
+        assert t.granule_of(0x1000) != t.granule_of(0x1004)
+
+    def test_lookup_creates(self):
+        t = MetadataTable()
+        e = t.lookup(0x1000)
+        assert not e.valid
+        assert len(t) == 1
+
+    def test_lookup_returns_same_entry(self):
+        t = MetadataTable()
+        assert t.lookup(0x1000) is t.lookup(0x1002)
+
+    def test_peek_does_not_create(self):
+        t = MetadataTable()
+        assert t.peek(0x1000) is None
+        assert len(t) == 0
+
+    def test_clear(self):
+        t = MetadataTable()
+        t.lookup(0x1000)
+        t.clear()
+        assert len(t) == 0
+
+    def test_shadow_bytes(self):
+        t = MetadataTable()
+        t.lookup(0x1000)
+        t.lookup(0x2000)
+        assert t.shadow_bytes == 32  # 2 entries x 16 bytes
+
+    def test_tag_of_is_narrow(self):
+        t = MetadataTable()
+        assert 0 <= t.tag_of(0xFFFFFFFF) < (1 << TAG_BITS)

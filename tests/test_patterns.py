@@ -1,0 +1,135 @@
+"""Tests for the shared kernel patterns (locks, flags)."""
+
+from repro.core import IGuard
+from repro.gpu.instructions import load, store
+from repro.workloads.patterns import (
+    lock_acquire,
+    lock_release,
+    signal,
+    signal_fenced,
+    wait_for,
+    wait_for_acquire,
+)
+
+from tests.conftest import fresh_device
+
+
+class TestLockPatterns:
+    def test_mutual_exclusion(self):
+        # 8 threads incrementing under one lock: no lost updates.
+        dev = fresh_device()
+        locks = dev.alloc("locks", 1, init=0)
+        counter = dev.alloc("counter", 1, init=0)
+
+        def kern(ctx, locks, counter):
+            yield from lock_acquire(locks, 0)
+            v = yield load(counter, 0)
+            yield store(counter, 0, v + 1)
+            yield from lock_release(locks, 0)
+
+        dev.launch(kern, 2, 4, args=(locks, counter), seed=9)
+        assert counter.read(0) == 8
+
+    def test_lock_state_restored(self):
+        dev = fresh_device()
+        locks = dev.alloc("locks", 1, init=0)
+        data = dev.alloc("data", 1, init=0)
+
+        def kern(ctx, locks, data):
+            yield from lock_acquire(locks, 0)
+            yield store(data, 0, ctx.tid)
+            yield from lock_release(locks, 0)
+
+        dev.launch(kern, 1, 4, args=(locks, data))
+        assert locks.read(0) == 0  # released at the end
+
+    def test_locked_updates_race_free_under_iguard(self):
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        locks = dev.alloc("locks", 1, init=0)
+        counter = dev.alloc("counter", 1, init=0)
+
+        def kern(ctx, locks, counter):
+            yield from lock_acquire(locks, 0)
+            v = yield load(counter, 0)
+            yield store(counter, 0, v + 1)
+            yield from lock_release(locks, 0)
+
+        dev.launch(kern, 2, 4, args=(locks, counter), seed=4)
+        assert det.race_count == 0
+
+
+class TestFlagPatterns:
+    def test_signal_wait_orders_execution(self):
+        dev = fresh_device()
+        flags = dev.alloc("flags", 1, init=0)
+        out = dev.alloc("out", 1, init=0)
+
+        def kern(ctx, flags, out):
+            if ctx.tid == 0:
+                yield store(out, 0, 42)
+                yield from signal(flags, 0)
+            elif ctx.tid == 1:
+                yield from wait_for(flags, 0)
+                v = yield load(out, 0)
+                yield store(out, 0, v + 1)
+
+        dev.launch(kern, 1, 4, args=(flags, out), seed=6)
+        assert out.read(0) == 43  # consumer observed the produced value
+
+    def test_unfenced_signal_is_detector_visible_race(self):
+        # signal/wait order execution but create no happens-before: the
+        # whole point of the helper for seeding deterministic races.
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        flags = dev.alloc("flags", 1, init=0)
+        data = dev.alloc("data", 1, init=0)
+        out = dev.alloc("out", 1, init=0)
+
+        def kern(ctx, flags, data, out):
+            if ctx.block_id == 0 and ctx.tid_in_block == 0:
+                yield store(data, 0, 7)
+                yield from signal(flags, 0)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                yield from wait_for(flags, 0)
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        dev.launch(kern, 2, 4, args=(flags, data, out), seed=2)
+        assert det.race_count == 1
+
+    def test_fenced_signal_is_race_free(self):
+        dev = fresh_device()
+        det = dev.add_tool(IGuard())
+        flags = dev.alloc("flags", 1, init=0)
+        data = dev.alloc("data", 1, init=0)
+        out = dev.alloc("out", 1, init=0)
+
+        def kern(ctx, flags, data, out):
+            if ctx.block_id == 0 and ctx.tid_in_block == 0:
+                yield store(data, 0, 7)
+                yield from signal_fenced(flags, 0)
+            if ctx.block_id == 1 and ctx.tid_in_block == 0:
+                yield from wait_for_acquire(flags, 0)
+                v = yield load(data, 0)
+                yield store(out, 0, v)
+
+        dev.launch(kern, 2, 4, args=(flags, data, out), seed=2)
+        assert det.race_count == 0
+        assert out.read(0) == 7
+
+    def test_wait_for_target(self):
+        dev = fresh_device()
+        flags = dev.alloc("flags", 1, init=0)
+        out = dev.alloc("out", 1, init=0)
+
+        def kern(ctx, flags, out):
+            if ctx.tid < 3:
+                yield from signal(flags, 0)
+            elif ctx.tid == 3:
+                yield from wait_for(flags, 0, target=3)
+                yield store(out, 0, 1)
+
+        dev.launch(kern, 1, 4, args=(flags, out), seed=8)
+        assert out.read(0) == 1
+        assert flags.read(0) == 3

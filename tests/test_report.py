@@ -1,0 +1,93 @@
+"""Tests for race records, the report buffer, and site deduplication."""
+
+from repro.core.report import RaceBuffer, RaceLog, RaceRecord, RaceType
+
+
+def record(ip="kern:10", race_type=RaceType.INTER_BLOCK, address=0x1000):
+    return RaceRecord(
+        race_type=race_type, kernel="kern", ip=ip, access="load",
+        address=address, location="data[0]", warp_id=1, lane=2, block_id=0,
+        prev_warp_id=3, prev_lane=4,
+    )
+
+
+class TestRaceRecord:
+    def test_describe_mentions_everything(self):
+        text = record().describe()
+        for fragment in ("DR", "load", "kern:10", "data[0]", "w1.t2", "w3.t4"):
+            assert fragment in text
+
+    def test_type_str(self):
+        assert str(RaceType.IMPROPER_LOCKING) == "IL"
+        assert str(RaceType.ATOMIC_SCOPE) == "AS"
+        assert str(RaceType.ITS) == "ITS"
+        assert str(RaceType.INTRA_BLOCK) == "BR"
+        assert str(RaceType.INTER_BLOCK) == "DR"
+
+
+class TestRaceBuffer:
+    def test_push_accumulates(self):
+        buf = RaceBuffer(capacity=10)
+        buf.push(record())
+        assert len(buf.pending) == 1
+        assert buf.flushes == 0
+
+    def test_auto_flush_when_full(self):
+        # The 1 MB buffer is "sent to the CPU ... when full".
+        buf = RaceBuffer(capacity=3)
+        for i in range(3):
+            buf.push(record(ip=f"kern:{i}"))
+        assert buf.flushes == 1
+        assert len(buf.pending) == 0
+        assert len(buf.reported) == 3
+
+    def test_manual_flush(self):
+        buf = RaceBuffer(capacity=10)
+        buf.push(record())
+        buf.flush()
+        assert buf.reported and not buf.pending
+
+    def test_flush_empty_is_noop(self):
+        buf = RaceBuffer(capacity=10)
+        buf.flush()
+        assert buf.flushes == 0
+
+    def test_all_records(self):
+        buf = RaceBuffer(capacity=10)
+        buf.push(record(ip="a"))
+        buf.flush()
+        buf.push(record(ip="b"))
+        assert len(buf.all_records()) == 2
+
+
+class TestRaceLog:
+    def test_new_site_reported_once(self):
+        log = RaceLog(capacity=100)
+        assert log.report(record(ip="kern:1"))
+        assert not log.report(record(ip="kern:1", address=0x2000))
+        assert log.num_sites == 1
+
+    def test_distinct_sites_counted(self):
+        log = RaceLog(capacity=100)
+        log.report(record(ip="kern:1"))
+        log.report(record(ip="kern:2", race_type=RaceType.ITS))
+        assert log.num_sites == 2
+        assert log.types() == {RaceType.INTER_BLOCK, RaceType.ITS}
+
+    def test_sites_sorted(self):
+        log = RaceLog(capacity=100)
+        log.report(record(ip="kern:9"))
+        log.report(record(ip="kern:1"))
+        assert [ip for ip, _ in log.sites()] == ["kern:1", "kern:9"]
+
+    def test_records_keeps_dynamics(self):
+        log = RaceLog(capacity=100)
+        for _ in range(5):
+            log.report(record(ip="same"))
+        assert log.num_sites == 1
+        assert len(log.records()) == 5
+
+    def test_capacity_matches_paper_budget(self):
+        # 1 MiB buffer / 64-byte records = 16384 entries.
+        from repro.core.config import DEFAULT_CONFIG
+        assert DEFAULT_CONFIG.race_buffer_capacity == 16384

@@ -1,0 +1,67 @@
+"""Tests for the deterministic scheduler RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.rng import SplitMix64
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a, b = SplitMix64(7), SplitMix64(7)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert SplitMix64(1).next_u64() != SplitMix64(2).next_u64()
+
+    def test_randint_range(self):
+        rng = SplitMix64(3)
+        for _ in range(100):
+            assert 0 <= rng.randint(7) < 7
+
+    def test_randint_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).randint(0)
+
+    def test_random_in_unit_interval(self):
+        rng = SplitMix64(5)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_choice(self):
+        rng = SplitMix64(9)
+        seq = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice(seq) in seq
+
+    def test_shuffle_is_permutation(self):
+        rng = SplitMix64(11)
+        data = list(range(32))
+        shuffled = list(data)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == data
+
+    def test_shuffle_changes_order(self):
+        rng = SplitMix64(13)
+        data = list(range(64))
+        shuffled = list(data)
+        rng.shuffle(shuffled)
+        assert shuffled != data
+
+    def test_fork_independent(self):
+        rng = SplitMix64(1)
+        fork_a = rng.fork(1)
+        fork_b = rng.fork(2)
+        assert fork_a.next_u64() != fork_b.next_u64()
+
+    def test_fork_deterministic(self):
+        assert SplitMix64(1).fork(5).next_u64() == SplitMix64(1).fork(5).next_u64()
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(1, 1000))
+    def test_randint_bounds_property(self, seed, bound):
+        assert 0 <= SplitMix64(seed).randint(bound) < bound
+
+    def test_randint_covers_values(self):
+        rng = SplitMix64(17)
+        seen = {rng.randint(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}

@@ -1,0 +1,135 @@
+"""Property tests for substrate invariants: memory model and scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.arch import TEST_GPU
+from repro.gpu.device import Device
+from repro.gpu.instructions import AtomicOp, Scope, atomic_add, compute, load, store, syncthreads
+from repro.gpu.memory import GlobalMemory
+
+MiB = 1024 * 1024
+
+
+class TestWeakMemoryProperties:
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 100), st.integers(0, 3)),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flush_all_converges_to_sc_for_racefree_stores(self, writes):
+        """After flushing, weak memory equals a sequentially-consistent
+        replay — for *race-free* store sequences (each address written by
+        one block only).  Racing cross-block stores may resolve
+        differently, which is precisely the weak behaviour the mode
+        models, so they are excluded by construction here.
+        """
+        weak = GlobalMemory(4 * MiB, weak_visibility=True)
+        strong = GlobalMemory(4 * MiB, weak_visibility=False)
+        wa = weak.alloc("a", 8, init=0)
+        sa = strong.alloc("a", 8, init=0)
+        for slot, value, block in writes:
+            index = block * 2 + slot  # per-block private addresses
+            weak.device_store(wa.addr_of(index), value, block_id=block)
+            strong.device_store(sa.addr_of(index), value, block_id=block)
+        weak.flush_all()
+        assert wa.to_list() == sa.to_list()
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 9)), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_own_block_read_your_writes(self, ops):
+        """A block always observes its own latest store (store buffer
+        forwarding), regardless of visibility mode."""
+        mem = GlobalMemory(4 * MiB, weak_visibility=True)
+        arr = mem.alloc("a", 4, init=0)
+        latest = {}
+        for index, value in ops:
+            mem.device_store(arr.addr_of(index), value, block_id=0)
+            latest[index] = value
+        for index, value in latest.items():
+            assert mem.device_load(arr.addr_of(index), block_id=0) == value
+
+    @given(adds=st.lists(st.integers(1, 5), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_device_atomics_never_lose_updates(self, adds):
+        mem = GlobalMemory(4 * MiB, weak_visibility=True)
+        arr = mem.alloc("a", 1, init=0)
+        for i, value in enumerate(adds):
+            mem.device_atomic(
+                AtomicOp.ADD, arr.addr_of(0), value, block_id=i % 3,
+                scope=Scope.DEVICE,
+            )
+        mem.flush_all()
+        assert arr.read(0) == sum(adds)
+
+
+class TestSchedulerProperties:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_every_thread_completes(self, seed):
+        dev = Device(TEST_GPU)
+        out = dev.alloc("out", 16, init=0)
+
+        def kern(ctx, out):
+            yield compute(1)
+            yield store(out, ctx.tid, 1)
+
+        run = dev.launch(kern, 2, 8, args=(out,), seed=seed)
+        assert not run.timed_out
+        assert out.to_list() == [1] * 16
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_atomics_linearize_under_any_schedule(self, seed):
+        dev = Device(TEST_GPU)
+        counter = dev.alloc("counter", 1, init=0)
+        tickets = dev.alloc("tickets", 16, init=-1)
+
+        def kern(ctx, counter, tickets):
+            ticket = yield atomic_add(counter, 0, 1)
+            yield store(tickets, ctx.tid, ticket)
+
+        dev.launch(kern, 2, 8, args=(counter, tickets), seed=seed)
+        # Tickets form a permutation of 0..15: atomicity held.
+        assert sorted(tickets.to_list()) == list(range(16))
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_barrier_phase_invariant(self, seed):
+        """No thread's post-barrier read can observe a pre-barrier value
+        once any thread wrote its slot before the barrier."""
+        dev = Device(TEST_GPU)
+        data = dev.alloc("data", 8, init=-1)
+        out = dev.alloc("out", 8, init=0)
+
+        def kern(ctx, data, out):
+            yield store(data, ctx.tid, ctx.tid)
+            yield syncthreads()
+            v = yield load(data, (ctx.tid + 3) % ctx.block_dim)
+            yield store(out, ctx.tid, v)
+
+        dev.launch(kern, 1, 8, args=(data, out), seed=seed)
+        assert out.to_list() == [(i + 3) % 8 for i in range(8)]
+
+    @given(seed=st.integers(0, 100_000), split=st.floats(0.0, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_split_probability_never_affects_results(self, seed, split):
+        def run(split_probability):
+            dev = Device(TEST_GPU)
+            data = dev.alloc("data", 8, init=0)
+
+            def kern(ctx, data):
+                v = yield load(data, ctx.tid)
+                yield store(data, ctx.tid, v + ctx.tid)
+
+            dev.launch(kern, 1, 8, args=(data,), seed=seed,
+                       split_probability=split_probability)
+            return data.to_list()
+
+        # Private slots: ITS batching choices must not change outputs.
+        assert run(split) == run(0.0) == list(range(8))

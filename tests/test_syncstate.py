@@ -1,0 +1,90 @@
+"""Tests for the live synchronization metadata (counters + lock tables)."""
+
+from repro.core.syncstate import SyncMetadata
+from repro.gpu.instructions import Scope
+
+
+class TestCounters:
+    def test_initial_zero(self):
+        sm = SyncMetadata()
+        assert sm.blk_bar(0) == 0
+        assert sm.warp_bar(0) == 0
+        assert sm.dev_fence((0, 0)) == 0
+        assert sm.blk_fence((0, 0)) == 0
+
+    def test_syncthreads_bumps_block(self):
+        sm = SyncMetadata()
+        sm.on_syncthreads(2)
+        assert sm.blk_bar(2) == 1
+        assert sm.blk_bar(0) == 0  # other blocks untouched
+
+    def test_syncwarp_bumps_warp(self):
+        sm = SyncMetadata()
+        sm.on_syncwarp(5)
+        assert sm.warp_bar(5) == 1
+
+    def test_device_fence_bumps_device_counter_only(self):
+        sm = SyncMetadata()
+        sm.on_fence((1, 2), Scope.DEVICE)
+        assert sm.dev_fence((1, 2)) == 1
+        assert sm.blk_fence((1, 2)) == 0
+
+    def test_block_fence_bumps_block_counter_only(self):
+        sm = SyncMetadata()
+        sm.on_fence((1, 2), Scope.BLOCK)
+        assert sm.blk_fence((1, 2)) == 1
+        assert sm.dev_fence((1, 2)) == 0
+
+    def test_fences_are_per_thread(self):
+        # "We keep threadfence counters per thread since CUDA defines the
+        # semantics of threadfences for each thread" (6.1).
+        sm = SyncMetadata()
+        sm.on_fence((0, 0), Scope.DEVICE)
+        assert sm.dev_fence((0, 1)) == 0
+
+    def test_blk_bar_wraps_at_8_bits(self):
+        sm = SyncMetadata()
+        for _ in range(256):
+            sm.on_syncthreads(0)
+        assert sm.blk_bar(0) == 0  # exactly 256 syncthreads alias zero
+
+    def test_warp_bar_wraps_at_6_bits(self):
+        sm = SyncMetadata()
+        for _ in range(64):
+            sm.on_syncwarp(0)
+        assert sm.warp_bar(0) == 0
+
+    def test_fence_wraps_at_6_bits(self):
+        sm = SyncMetadata()
+        for _ in range(64):
+            sm.on_fence((0, 0), Scope.DEVICE)
+        assert sm.dev_fence((0, 0)) == 0
+
+
+class TestLockTableSelection:
+    def test_warp_table_by_default(self):
+        sm = SyncMetadata()
+        table = sm.lock_table_for(3, (3, 1))
+        assert table is sm.warp_lock_table(3)
+
+    def test_thread_table_after_isthread(self):
+        sm = SyncMetadata()
+        sm.warp_lock_table(3).is_thread = True
+        table = sm.lock_table_for(3, (3, 1))
+        assert table is sm.thread_lock_table((3, 1))
+
+    def test_thread_tables_are_distinct(self):
+        sm = SyncMetadata()
+        sm.warp_lock_table(0).is_thread = True
+        assert sm.lock_table_for(0, (0, 0)) is not sm.lock_table_for(0, (0, 1))
+
+    def test_tables_cached(self):
+        sm = SyncMetadata()
+        assert sm.warp_lock_table(1) is sm.warp_lock_table(1)
+        assert sm.thread_lock_table((1, 1)) is sm.thread_lock_table((1, 1))
+
+    def test_footprint_accounting(self):
+        sm = SyncMetadata()
+        sm.on_syncthreads(0)
+        sm.warp_lock_table(0)
+        assert sm.approximate_bytes() > 0

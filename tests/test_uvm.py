@@ -1,0 +1,108 @@
+"""Tests for the UVM-backed metadata space (section 6.1)."""
+
+from repro.core.uvm import ManagedMetadataSpace, UVMParams
+
+MiB = 1024 * 1024
+
+
+def space(metadata_mb=8, free_mb=16, prefault=True, **params):
+    return ManagedMetadataSpace(
+        metadata_virtual_bytes=metadata_mb * MiB,
+        device_free_bytes=free_mb * MiB,
+        prefault=prefault,
+        params=UVMParams(**params) if params else UVMParams(),
+    )
+
+
+class TestPrefault:
+    def test_everything_prefaulted_when_fits(self):
+        s = space(metadata_mb=8, free_mb=16)
+        assert s.fits_entirely
+        assert s.prefaulted_pages == 4  # 8 MiB / 2 MiB pages
+
+    def test_prefault_capped_by_free_memory(self):
+        s = space(metadata_mb=32, free_mb=8)
+        assert not s.fits_entirely
+        assert s.prefaulted_pages == 4
+
+    def test_no_prefault_option(self):
+        s = space(prefault=False)
+        assert s.prefaulted_pages == 0
+        assert s.setup_cycles == 0.0
+
+    def test_setup_cost_proportional(self):
+        a = space(metadata_mb=4)
+        b = space(metadata_mb=8)
+        assert b.setup_cycles == 2 * a.setup_cycles
+
+
+class TestAccess:
+    def test_prefaulted_access_is_free(self):
+        s = space(metadata_mb=8, free_mb=16)
+        assert s.access(0) == 0.0
+        assert s.hits == 1 and s.faults == 0
+
+    def test_unfaulted_page_costs(self):
+        s = space(metadata_mb=32, free_mb=8)
+        cost = s.access(20 * MiB)  # beyond the 8 MiB prefaulted prefix
+        assert cost > 0
+        assert s.faults == 1
+
+    def test_faulted_page_becomes_resident(self):
+        s = space(metadata_mb=32, free_mb=8, prefault=False)
+        s.access(20 * MiB)
+        assert s.access(20 * MiB) == 0.0
+
+    def test_eviction_when_full(self):
+        # 2 pages of device memory, 4 pages touched round-robin: thrash.
+        s = space(metadata_mb=8, free_mb=4, prefault=False)
+        for page in range(4):
+            s.access(page * 2 * MiB)
+        assert s.evictions > 0
+
+    def test_eviction_is_lru(self):
+        s = space(metadata_mb=8, free_mb=4, prefault=False)
+        s.access(0)          # page 0
+        s.access(2 * MiB)    # page 1
+        s.access(0)          # touch page 0 (now MRU)
+        s.access(4 * MiB)    # page 2: evicts page 1, not page 0
+        assert s.access(0) == 0.0
+        assert s.access(2 * MiB) > 0
+
+    def test_zero_capacity_streams(self):
+        s = space(metadata_mb=8, free_mb=0, prefault=False)
+        assert s.access(0) > 0
+        assert s.access(0) > 0  # never becomes resident
+        assert s.evictions == 0
+
+    def test_fault_cost_accounting(self):
+        s = space(metadata_mb=32, free_mb=8, prefault=False,
+                  fault_cycles=100.0, migration_cycles=0.0)
+        s.access(0)
+        assert s.fault_cycles_total == 100.0
+
+    def test_migration_surcharge(self):
+        s = space(metadata_mb=8, free_mb=2, prefault=False,
+                  fault_cycles=10.0, migration_cycles=7.0)
+        s.access(0)
+        cost = s.access(2 * MiB)  # must evict
+        assert cost == 17.0
+
+
+class TestGracefulDegradation:
+    """The Figure 14 property: overheads grow, runs never fail."""
+
+    def test_huge_metadata_still_serviced(self):
+        s = space(metadata_mb=4096, free_mb=64)
+        total = 0.0
+        for i in range(100):
+            total += s.access(i * 37 * MiB)
+        assert total > 0  # expensive, but every access succeeded
+
+    def test_cost_monotone_in_pressure(self):
+        low = space(metadata_mb=64, free_mb=64)
+        high = space(metadata_mb=64, free_mb=8)
+        offsets = [i * 2 * MiB for i in range(32)]
+        low_cost = sum(low.access(o) for o in offsets)
+        high_cost = sum(high.access(o) for o in offsets)
+        assert high_cost > low_cost

@@ -1,0 +1,110 @@
+"""Tests for the vector clocks and FastTrack access histories."""
+
+from hypothesis import given, strategies as st
+
+from repro.baselines.vectorclock import AccessHistory, VectorClock
+
+
+class TestVectorClock:
+    def test_default_zero(self):
+        assert VectorClock().get(5) == 0
+
+    def test_bump(self):
+        vc = VectorClock()
+        vc.bump(3)
+        vc.bump(3)
+        assert vc.get(3) == 2
+
+    def test_join_takes_max(self):
+        a = VectorClock({0: 5, 1: 1})
+        b = VectorClock({1: 9, 2: 2})
+        a.join(b)
+        assert (a.get(0), a.get(1), a.get(2)) == (5, 9, 2)
+
+    def test_copy_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.bump(0)
+        assert a.get(0) == 1
+
+    def test_dominates_epoch(self):
+        vc = VectorClock({4: 7})
+        assert vc.dominates_epoch((4, 7))
+        assert vc.dominates_epoch((4, 3))
+        assert not vc.dominates_epoch((4, 8))
+        assert not vc.dominates_epoch((9, 1))
+
+    def test_epoch_of(self):
+        vc = VectorClock({2: 3})
+        assert vc.epoch_of(2) == (2, 3)
+        assert vc.epoch_of(5) == (5, 0)
+
+    @given(st.dictionaries(st.integers(0, 20), st.integers(0, 100), max_size=8),
+           st.dictionaries(st.integers(0, 20), st.integers(0, 100), max_size=8))
+    def test_join_commutative(self, da, db):
+        a1 = VectorClock(da); a1.join(VectorClock(db))
+        a2 = VectorClock(db); a2.join(VectorClock(da))
+        # Compare semantically: sparse clocks may carry explicit zeros.
+        for tid in set(da) | set(db):
+            assert a1.get(tid) == a2.get(tid)
+
+    @given(st.dictionaries(st.integers(0, 20), st.integers(1, 100), max_size=8))
+    def test_join_idempotent(self, d):
+        a = VectorClock(d)
+        a.join(VectorClock(d))
+        assert a.clocks == d
+
+
+class TestAccessHistory:
+    def test_write_epoch_recorded(self):
+        h = AccessHistory()
+        h.record_write(tid=1, clock=5, warp=0)
+        assert h.write_epoch == (1, 5)
+        assert h.write_warp == 0
+
+    def test_write_clears_reads(self):
+        h = AccessHistory()
+        h.record_read(1, 1, 0, VectorClock({1: 1}))
+        h.record_write(2, 1, 0)
+        assert h.read_epoch is None and h.read_vc is None
+
+    def test_same_thread_reads_stay_epoch(self):
+        h = AccessHistory()
+        vc = VectorClock({1: 1})
+        h.record_read(1, 1, 0, vc)
+        h.record_read(1, 2, 0, vc)
+        assert h.read_epoch == (1, 2)
+        assert h.read_vc is None
+
+    def test_ordered_reads_stay_epoch(self):
+        # Reader 2 already "saw" reader 1's epoch: one epoch suffices.
+        h = AccessHistory()
+        h.record_read(1, 1, 0, VectorClock({1: 1}))
+        h.record_read(2, 4, 1, VectorClock({1: 1, 2: 4}))
+        assert h.read_epoch == (2, 4)
+
+    def test_concurrent_reads_go_shared(self):
+        h = AccessHistory()
+        h.record_read(1, 1, 0, VectorClock({1: 1}))
+        h.record_read(2, 1, 1, VectorClock({2: 1}))  # does not dominate
+        assert h.read_vc is not None
+        assert set(h.read_vc) == {1, 2}
+
+    def test_concurrent_readers_query(self):
+        h = AccessHistory()
+        h.record_read(1, 5, 0, VectorClock({1: 5}))
+        writer_vc = VectorClock({1: 2})  # has NOT seen the read
+        assert list(h.concurrent_readers(writer_vc)) == [(1, 5, 0)]
+
+    def test_no_concurrent_readers_when_dominated(self):
+        h = AccessHistory()
+        h.record_read(1, 5, 0, VectorClock({1: 5}))
+        writer_vc = VectorClock({1: 9})
+        assert list(h.concurrent_readers(writer_vc)) == []
+
+    def test_shared_readers_filtered_by_domination(self):
+        h = AccessHistory()
+        h.record_read(1, 1, 0, VectorClock({1: 1}))
+        h.record_read(2, 1, 1, VectorClock({2: 1}))
+        writer_vc = VectorClock({1: 9})  # saw reader 1, not reader 2
+        assert [t for t, _, _ in h.concurrent_readers(writer_vc)] == [2]

@@ -1,0 +1,99 @@
+"""Baseline detectors against the workloads: the Table 4/Figure 11 story."""
+
+import pytest
+
+from repro.baselines import Barracuda, ScoRD
+from repro.core import IGuard
+from repro.workloads import get_workload, racefree_workloads, run_workload
+
+
+class TestBarracudaApplicability:
+    def test_scor_suite_unsupported(self):
+        # Scoped atomics abort Barracuda (it could not run ScoR at all).
+        for name in ("matrix-mult", "reduction", "graph-color"):
+            result = run_workload(get_workload(name), Barracuda, seeds=(1,))
+            assert result.status == "unsupported", name
+
+    def test_cg_suite_unsupported(self):
+        for name in ("conjugGMB", "reduceMB", "warpAA", "grid_sync"):
+            result = run_workload(get_workload(name), Barracuda, seeds=(1,))
+            assert result.status == "unsupported", name
+
+    def test_complex_binaries_unsupported(self):
+        # "It cannot handle large, multi-file real-world GPU libraries."
+        for name in ("louvain", "mis", "slabhash_test", "cuML_gsync"):
+            result = run_workload(get_workload(name), Barracuda, seeds=(1,))
+            assert result.status == "unsupported", name
+            assert "PTX" in result.detail
+
+    def test_interac_does_not_terminate(self):
+        result = run_workload(get_workload("interac"), Barracuda, seeds=(1,))
+        assert result.status == "timeout"
+        assert result.races > 0  # some races found before giving up
+
+    def test_supported_racy_workloads(self):
+        # Barracuda runs hashtable / shocbfs / cub_gridbar and finds the
+        # non-ITS races (Table 4's Barracuda column).
+        for name, expected in (("hashtable", 2), ("shocbfs", 2), ("cub_gridbar", 1)):
+            result = run_workload(get_workload(name), Barracuda, seeds=(1,))
+            assert result.status == "ok", name
+            assert result.races == expected, name
+
+
+class TestBarracudaNoFalsePositives:
+    @pytest.mark.parametrize(
+        "workload",
+        [w for w in racefree_workloads() if w.suite in ("CUB", "Rodinia")],
+        ids=lambda w: w.name,
+    )
+    def test_silent_where_it_runs(self, workload):
+        result = run_workload(workload, Barracuda, seeds=(1,))
+        assert result.status == "ok"
+        assert result.races == 0, result.race_sites
+
+
+class TestOverheadRelationships:
+    def test_iguard_much_cheaper_than_barracuda(self):
+        # Figure 11(b)'s essence on a representative workload.
+        w = get_workload("d_scan")
+        ig = run_workload(w, IGuard, seeds=(1,))
+        bar = run_workload(w, Barracuda, seeds=(1,))
+        assert bar.overhead > 2 * ig.overhead
+
+    def test_scord_is_hardware_cheap(self):
+        w = get_workload("b_reduce")
+        sc = run_workload(w, ScoRD, seeds=(1,))
+        ig = run_workload(w, IGuard, seeds=(1,))
+        assert sc.overhead < ig.overhead
+        assert sc.overhead < 1.5  # "Low" in Table 1
+
+    def test_iguard_overhead_moderate(self):
+        # The paper's average is 5.1x; any healthy workload should be
+        # within the same order of magnitude.
+        w = get_workload("hotspot")
+        ig = run_workload(w, IGuard, seeds=(1,))
+        assert 1.0 < ig.overhead < 20.0
+
+
+class TestScoRDDetection:
+    def test_scord_misses_its_races(self):
+        # iGUARD found 5 new ITS races in ScoRD's own suite: ScoRD mode
+        # must report fewer races on `reduction` (its 3 ITS sites).
+        w = get_workload("reduction")
+        ig = run_workload(w, IGuard)
+        sc = run_workload(w, ScoRD)
+        assert ig.races == 7
+        assert sc.races == ig.races - 3
+        assert "ITS" not in sc.race_types
+
+    def test_scord_catches_scoped_races(self):
+        w = get_workload("1dconv")
+        sc = run_workload(w, ScoRD)
+        assert sc.races == 1
+        assert sc.race_types == {"AS"}
+
+    def test_scord_misses_lockset_races(self):
+        w = get_workload("uts")  # 2 IL + 4 AS
+        sc = run_workload(w, ScoRD)
+        assert "IL" not in sc.race_types
+        assert sc.races == 4
