@@ -1,0 +1,387 @@
+"""Trace codec: the event stream as a serializable record/replay artifact.
+
+A :class:`Trace` is the ordered list of typed events one or more executions
+published on the bus — a :class:`~repro.gpu.arch.GPUConfig` header,
+:class:`~repro.gpu.events.AllocEvent` /
+:class:`~repro.gpu.events.LaunchEvent` /
+:class:`~repro.gpu.events.MemoryEvent` /
+:class:`~repro.gpu.events.SyncEvent` /
+:class:`~repro.gpu.events.KernelEndEvent` records, with
+:class:`RunMarker` boundaries between independently-executed runs (one per
+scheduler seed).  The codec serializes each record to one compact JSON
+line; ``.gz`` paths are transparently gzipped.
+
+Capture once, analyze forever: the predictive-analysis literature (e.g.
+*Predictive Data Race Detection for GPUs*) argues for exactly this —
+detection over a fixed observed execution, reproducible and decoupled
+from the cost of producing it.  :mod:`repro.engine.replay` consumes these
+traces.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.gpu.arch import GPUConfig
+from repro.gpu.events import (
+    AccessKind,
+    AllocEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MemoryEvent,
+    SyncEvent,
+    SyncKind,
+)
+from repro.gpu.ids import ThreadLocation
+from repro.gpu.instructions import AtomicOp, Scope
+from repro.instrument.nvbit import LaunchInfo, Tool
+from repro.instrument.timing import Category
+
+#: Bumped whenever the record schema changes incompatibly.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunMarker:
+    """Boundary between independently-executed runs within one trace."""
+
+    seed: int
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+
+_ACCESS_SHORT = {AccessKind.LOAD: "l", AccessKind.STORE: "s", AccessKind.ATOMIC: "a"}
+_ACCESS_LONG = {v: k for k, v in _ACCESS_SHORT.items()}
+_SYNC_SHORT = {SyncKind.SYNCTHREADS: "t", SyncKind.SYNCWARP: "w", SyncKind.FENCE: "f"}
+_SYNC_LONG = {v: k for k, v in _SYNC_SHORT.items()}
+
+
+def _enc_where(where: ThreadLocation) -> List[int]:
+    return [
+        where.global_tid,
+        where.block_id,
+        where.tid_in_block,
+        where.warp_id,
+        where.lane,
+        where.warp_in_block,
+    ]
+
+
+def _dec_where(values) -> ThreadLocation:
+    return ThreadLocation(
+        global_tid=values[0],
+        block_id=values[1],
+        tid_in_block=values[2],
+        warp_id=values[3],
+        lane=values[4],
+        warp_in_block=values[5],
+    )
+
+
+def _jsonable(value):
+    """Event payload values the codec can carry losslessly, else ``repr``.
+
+    Workload kernels store Python ints (and occasionally strings); anything
+    exotic is degraded to its ``repr`` — visible in the trace rather than
+    silently dropped.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def encode_event(event) -> dict:
+    """One typed event -> one JSON-serializable record dict."""
+    if isinstance(event, GPUConfig):
+        return {"t": "gpu", "v": FORMAT_VERSION, **asdict(event)}
+    if isinstance(event, RunMarker):
+        return {"t": "run", "seed": event.seed}
+    if isinstance(event, AllocEvent):
+        return {"t": "alloc", "name": event.name, "base": event.base,
+                "words": event.num_words}
+    if isinstance(event, LaunchEvent):
+        return {
+            "t": "launch",
+            "k": event.kernel_name,
+            "g": event.grid_dim,
+            "bd": event.block_dim,
+            "ws": event.warp_size,
+            "wpb": event.warps_per_block,
+            "nt": event.num_threads,
+            "seed": event.seed,
+            "sic": event.static_instruction_count,
+            "par": event.parallelism,
+        }
+    if isinstance(event, MemoryEvent):
+        record = {
+            "t": "m",
+            "k": _ACCESS_SHORT[event.kind],
+            "a": event.address,
+            "w": _enc_where(event.where),
+            "ip": event.ip,
+            "am": sorted(event.active_mask),
+            "b": event.batch,
+        }
+        if event.scope is not Scope.DEVICE:
+            record["sc"] = int(event.scope)
+        if event.atomic_op is not None:
+            record["op"] = event.atomic_op.value
+        if event.value_stored is not None:
+            record["vs"] = _jsonable(event.value_stored)
+        if event.value_loaded is not None:
+            record["vl"] = _jsonable(event.value_loaded)
+        if event.compare is not None:
+            record["cmp"] = _jsonable(event.compare)
+        return record
+    if isinstance(event, SyncEvent):
+        record = {
+            "t": "y",
+            "k": _SYNC_SHORT[event.kind],
+            "w": _enc_where(event.where),
+            "ip": event.ip,
+            "am": sorted(event.active_mask),
+            "b": event.batch,
+        }
+        if event.scope is not Scope.DEVICE:
+            record["sc"] = int(event.scope)
+        return record
+    if isinstance(event, KernelEndEvent):
+        return {
+            "t": "end",
+            "k": event.kernel_name,
+            "to": event.timed_out,
+            "np": event.native_parallel,
+            "ns": event.native_serial,
+            "ba": event.batches,
+            "in": event.instructions,
+        }
+    raise TypeError(f"cannot encode trace event {event!r}")
+
+
+def decode_event(record: dict):
+    """One record dict -> the typed event it encodes."""
+    kind = record.get("t")
+    if kind == "gpu":
+        fields = {k: v for k, v in record.items() if k not in ("t", "v")}
+        return GPUConfig(**fields)
+    if kind == "run":
+        return RunMarker(seed=record["seed"])
+    if kind == "alloc":
+        return AllocEvent(
+            name=record["name"], base=record["base"], num_words=record["words"]
+        )
+    if kind == "launch":
+        return LaunchEvent(
+            kernel_name=record["k"],
+            grid_dim=record["g"],
+            block_dim=record["bd"],
+            warp_size=record["ws"],
+            warps_per_block=record["wpb"],
+            num_threads=record["nt"],
+            seed=record["seed"],
+            static_instruction_count=record["sic"],
+            parallelism=record["par"],
+        )
+    if kind == "m":
+        return MemoryEvent(
+            kind=_ACCESS_LONG[record["k"]],
+            address=record["a"],
+            where=_dec_where(record["w"]),
+            ip=record["ip"],
+            active_mask=frozenset(record["am"]),
+            scope=Scope(record.get("sc", int(Scope.DEVICE))),
+            atomic_op=AtomicOp(record["op"]) if "op" in record else None,
+            value_stored=record.get("vs"),
+            value_loaded=record.get("vl"),
+            compare=record.get("cmp"),
+            batch=record["b"],
+        )
+    if kind == "y":
+        return SyncEvent(
+            kind=_SYNC_LONG[record["k"]],
+            where=_dec_where(record["w"]),
+            ip=record["ip"],
+            active_mask=frozenset(record["am"]),
+            scope=Scope(record.get("sc", int(Scope.DEVICE))),
+            batch=record["b"],
+        )
+    if kind == "end":
+        return KernelEndEvent(
+            kernel_name=record["k"],
+            timed_out=record["to"],
+            native_parallel=record["np"],
+            native_serial=record["ns"],
+            batches=record["ba"],
+            instructions=record["in"],
+        )
+    raise ValueError(f"unknown trace record type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The trace container
+# ---------------------------------------------------------------------------
+
+
+class Trace:
+    """An ordered stream of typed events, serializable to JSONL."""
+
+    def __init__(self, events: Iterable = ()):
+        self.events: List = list(events)
+
+    def append(self, event) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.events)
+
+    @property
+    def gpu_config(self) -> Optional[GPUConfig]:
+        """The recorded device configuration (the trace header), if any."""
+        for event in self.events:
+            if isinstance(event, GPUConfig):
+                return event
+        return None
+
+    def runs(self) -> List[Tuple[int, List]]:
+        """Split the stream at :class:`RunMarker` boundaries.
+
+        Returns ``(seed, events)`` pairs, markers and the header excluded.
+        A trace recorded without markers is one run with seed 0.
+        """
+        segments: List[Tuple[int, List]] = []
+        current: Optional[List] = None
+        seed = 0
+        preamble: List = []
+        for event in self.events:
+            if isinstance(event, GPUConfig):
+                continue
+            if isinstance(event, RunMarker):
+                if current is not None:
+                    segments.append((seed, current))
+                seed, current = event.seed, []
+                continue
+            if current is None:
+                preamble.append(event)
+            else:
+                current.append(event)
+        if current is not None:
+            segments.append((seed, current))
+        if preamble:
+            # Events before any marker form an implicit first run.
+            segments.insert(0, (0, preamble))
+        return segments
+
+    # -- serialization --------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines (one record per line)."""
+        return "\n".join(
+            json.dumps(encode_event(e), separators=(",", ":"))
+            for e in self.events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        return cls(
+            decode_event(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        )
+
+    def save(self, path) -> None:
+        """Write the trace to ``path`` (gzipped when it ends in ``.gz``)."""
+        opener = gzip.open if str(path).endswith(".gz") else open
+        with opener(path, "wt", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(
+                    json.dumps(encode_event(event), separators=(",", ":"))
+                )
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        opener = gzip.open if str(path).endswith(".gz") else open
+        with opener(path, "rt", encoding="utf-8") as handle:
+            return cls(
+                decode_event(json.loads(line))
+                for line in handle
+                if line.strip()
+            )
+
+
+# ---------------------------------------------------------------------------
+# The recording sink
+# ---------------------------------------------------------------------------
+
+
+class TraceSink(Tool):
+    """A zero-overhead sink recording the full typed stream into a Trace.
+
+    Attach with ``device.add_sink(TraceSink())`` (or ``add_tool``; it
+    charges nothing either way).  The device configuration is written as a
+    header on attach, so the trace is self-contained.
+    """
+
+    name = "trace"
+
+    def __init__(self, trace: Optional[Trace] = None, header: bool = True):
+        self.trace = trace if trace is not None else Trace()
+        self._header = header
+
+    def attach(self, device) -> None:
+        if self._header:
+            self.trace.append(device.config)
+            self._header = False
+
+    def mark_run(self, seed: int) -> None:
+        """Insert a run boundary (fresh device/tool semantics on replay)."""
+        self.trace.append(RunMarker(seed))
+
+    def on_alloc(self, allocation) -> None:
+        self.trace.append(AllocEvent.of(allocation))
+
+    def on_launch_begin(self, launch: LaunchInfo) -> None:
+        self.trace.append(
+            LaunchEvent(
+                kernel_name=launch.kernel_name,
+                grid_dim=launch.grid_dim,
+                block_dim=launch.block_dim,
+                warp_size=launch.warp_size,
+                warps_per_block=launch.warps_per_block,
+                num_threads=launch.num_threads,
+                seed=launch.seed,
+                static_instruction_count=launch.static_instruction_count,
+                parallelism=launch.timing.parallelism,
+            )
+        )
+
+    def on_memory(self, event, launch) -> None:
+        self.trace.append(event)
+
+    def on_sync(self, event, launch) -> None:
+        self.trace.append(event)
+
+    def on_kernel_end(self, run, launch) -> None:
+        native = launch.timing.accounts[Category.NATIVE]
+        self.trace.append(
+            KernelEndEvent(
+                kernel_name=run.kernel_name,
+                timed_out=run.timed_out,
+                native_parallel=native.parallel,
+                native_serial=native.serial,
+                batches=run.batches,
+                instructions=run.instructions,
+            )
+        )

@@ -8,6 +8,7 @@ figure12, figure13, figure14, motivation.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -26,6 +27,13 @@ def main(argv=None) -> int:
         help=f"experiments to run (default: all); one of "
              f"{', '.join(ALL_EXPERIMENTS)}",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for experiments whose suite executor "
+             "supports parallel fan-out (default: 1)",
+    )
     args = parser.parse_args(argv)
     names = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -34,7 +42,12 @@ def main(argv=None) -> int:
     for name in names:
         module = ALL_EXPERIMENTS[name]
         started = time.time()
-        module.main()
+        # Experiment mains grew an argv parameter as they gained flags;
+        # the rest keep their zero-argument signature.
+        if "argv" in inspect.signature(module.main).parameters:
+            module.main(["--workers", str(args.workers)])
+        else:
+            module.main()
         print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
     return 0
 

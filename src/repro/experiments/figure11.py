@@ -15,6 +15,7 @@ aggregate statistics the paper quotes.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
 from statistics import geometric_mean, mean
 from typing import Dict, List, Optional
@@ -22,7 +23,7 @@ from typing import Dict, List, Optional
 from repro.baselines import Barracuda
 from repro.core import IGuard
 from repro.experiments.reporting import fmt_overhead, render_table, title
-from repro.workloads import racefree_workloads, racy_workloads, run_workload
+from repro.workloads import racefree_workloads, racy_workloads, run_suite
 
 
 @dataclass
@@ -57,11 +58,16 @@ class Panel:
         return geometric_mean(bar / ig for ig, bar in pairs)
 
 
-def _measure(workloads) -> List[Bar]:
-    bars = []
+def _measure(workloads, workers: int = 1) -> List[Bar]:
+    requests = []
     for workload in workloads:
-        ig = run_workload(workload, IGuard, seeds=(1,))
-        bar = run_workload(workload, Barracuda, seeds=(1,))
+        requests.append((workload, IGuard, (1,)))
+        requests.append((workload, Barracuda, (1,)))
+    results = run_suite(requests, workers=workers)
+    bars = []
+    for index, workload in enumerate(workloads):
+        ig = results[2 * index]
+        bar = results[2 * index + 1]
         bars.append(
             Bar(
                 suite=workload.suite,
@@ -74,11 +80,17 @@ def _measure(workloads) -> List[Bar]:
     return bars
 
 
-def run() -> Dict[str, Panel]:
+def run(workers: int = 1) -> Dict[str, Panel]:
     """Measure both panels."""
     return {
-        "a": Panel(label="(a) applications with races", bars=_measure(racy_workloads())),
-        "b": Panel(label="(b) applications without races", bars=_measure(racefree_workloads())),
+        "a": Panel(
+            label="(a) applications with races",
+            bars=_measure(racy_workloads(), workers=workers),
+        ),
+        "b": Panel(
+            label="(b) applications without races",
+            bars=_measure(racefree_workloads(), workers=workers),
+        ),
     }
 
 
@@ -112,8 +124,16 @@ def render(panels: Dict[str, Panel]) -> str:
     return "\n".join(sections)
 
 
-def main() -> None:
-    print(render(run()))
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Figure 11: performance overheads"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the suite executor (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    print(render(run(workers=args.workers)))
 
 
 if __name__ == "__main__":

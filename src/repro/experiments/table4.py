@@ -9,13 +9,14 @@ not terminate" on Kilo-TM's interac.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.baselines import Barracuda
 from repro.core import IGuard
 from repro.experiments.reporting import render_table, title
-from repro.workloads import racy_workloads, run_workload
+from repro.workloads import racy_workloads, run_suite
 
 
 @dataclass
@@ -29,12 +30,23 @@ class Row:
     types: str
 
 
-def run() -> List[Row]:
-    """Execute every racy workload under both detectors."""
+def run(workers: int = 1) -> List[Row]:
+    """Execute every racy workload under both detectors.
+
+    ``workers > 1`` fans the (workload, detector, seed) cells out over
+    processes; the merged rows are identical to the serial ones.
+    """
+    workloads = racy_workloads()
+    requests = []
+    for workload in workloads:
+        requests.append((workload, IGuard, None))
+        requests.append((workload, Barracuda, (1,)))
+    results = run_suite(requests, workers=workers)
+
     rows: List[Row] = []
-    for workload in racy_workloads():
-        ig = run_workload(workload, IGuard)
-        bar = run_workload(workload, Barracuda, seeds=(1,))
+    for index, workload in enumerate(workloads):
+        ig = results[2 * index]
+        bar = results[2 * index + 1]
         if bar.status == "unsupported":
             bar_cell = "Unsupported"
         elif bar.status == "timeout":
@@ -77,8 +89,14 @@ def render(rows: List[Row]) -> str:
     return "\n".join([title("Table 4: races detected"), legend, "", table, "", summary])
 
 
-def main() -> None:
-    print(render(run()))
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="Table 4: races detected")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the suite executor (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    print(render(run(workers=args.workers)))
 
 
 if __name__ == "__main__":

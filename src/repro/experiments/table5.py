@@ -9,12 +9,13 @@ output is an empty misreport list.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 from typing import List
 
 from repro.core import IGuard
 from repro.experiments.reporting import render_table, title
-from repro.workloads import racefree_workloads, run_workload
+from repro.workloads import racefree_workloads, run_suite
 
 
 @dataclass
@@ -27,21 +28,23 @@ class Row:
     status: str
 
 
-def run(extra_seeds=(7, 11)) -> List[Row]:
+def run(extra_seeds=(7, 11), workers: int = 1) -> List[Row]:
     """Run every race-free workload; extra seeds widen schedule coverage."""
-    rows: List[Row] = []
-    for workload in racefree_workloads():
-        seeds = tuple(workload.seeds) + tuple(extra_seeds)
-        result = run_workload(workload, IGuard, seeds=seeds)
-        rows.append(
-            Row(
-                suite=workload.suite,
-                name=workload.name,
-                races=result.races,
-                status=result.status,
-            )
+    workloads = racefree_workloads()
+    requests = [
+        (workload, IGuard, tuple(workload.seeds) + tuple(extra_seeds))
+        for workload in workloads
+    ]
+    results = run_suite(requests, workers=workers)
+    return [
+        Row(
+            suite=workload.suite,
+            name=workload.name,
+            races=result.races,
+            status=result.status,
         )
-    return rows
+        for workload, result in zip(workloads, results)
+    ]
 
 
 def false_positives(rows: List[Row]) -> List[Row]:
@@ -64,8 +67,16 @@ def render(rows: List[Row]) -> str:
     )
 
 
-def main() -> None:
-    print(render(run()))
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Table 5: race-free applications"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the suite executor (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    print(render(run(workers=args.workers)))
 
 
 if __name__ == "__main__":

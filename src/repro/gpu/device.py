@@ -1,10 +1,13 @@
 """The simulated GPU device: allocation, kernel launch, instrumentation.
 
 :class:`Device` ties the substrate together.  It owns the global memory,
-the attached instrumentation tools, and the cost accounting; ``launch()``
-spins up one :class:`~repro.gpu.kernel.KernelThread` per thread of the
-grid, hands them to a scheduler, and executes instructions on their behalf
-while reporting every event to the attached tools.
+the event bus carrying the instrumentation stream, and the cost
+accounting; ``launch()`` spins up one
+:class:`~repro.gpu.kernel.KernelThread` per thread of the grid, hands
+them to a scheduler, and executes instructions on their behalf while
+publishing every event on the bus.  Attached tools are bus sinks —
+``device.tools`` aliases the bus's sink list, so both ``add_tool`` and
+direct appends keep working.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.engine.bus import EventBus
 from repro.errors import LaunchError
 from repro.gpu.arch import GPUConfig, TITAN_RTX
 from repro.gpu.costs import CostParams, DEFAULT_COSTS, effective_parallelism
@@ -80,9 +84,12 @@ class Device:
         self.config = config
         self.costs = costs
         self.memory = GlobalMemory(config.memory_bytes, weak_visibility)
-        self.tools: List[Tool] = []
+        self.bus = EventBus()
+        #: Alias of ``bus.sinks`` — the same list object, so legacy code
+        #: appending tools directly still hooks into event dispatch.
+        self.tools: List[Tool] = self.bus.sinks
         self.runs: List[KernelRun] = []
-        self.memory.alloc_hooks.append(self._notify_alloc)
+        self.memory.alloc_hooks.append(self.bus.publish_alloc)
 
     # ------------------------------------------------------------------
     # Tools and allocation
@@ -90,13 +97,11 @@ class Device:
 
     def add_tool(self, tool: Tool) -> Tool:
         """Attach an instrumentation tool (e.g. an iGUARD detector)."""
-        self.tools.append(tool)
-        tool.attach(self)
-        return tool
+        return self.bus.add_sink(tool, self)
 
-    def _notify_alloc(self, allocation) -> None:
-        for tool in self.tools:
-            tool.on_alloc(allocation)
+    def add_sink(self, sink):
+        """Register any bus sink (a Tool, ToolSink, TraceSink, ...)."""
+        return self.bus.add_sink(sink, self)
 
     def alloc(self, name: str, num_words: int, init=0) -> GlobalArray:
         """``cudaMalloc`` + optional ``cudaMemset``: allocate a global array."""
@@ -164,8 +169,7 @@ class Device:
             seed=seed,
             static_instruction_count=len(kernel_fn.__code__.co_code) // 2,
         )
-        for tool in self.tools:
-            tool.on_launch_begin(launch)
+        self.bus.publish_launch_begin(launch)
 
         engine = Scheduler(
             threads,
@@ -180,11 +184,9 @@ class Device:
         self.memory.flush_all()
 
         if engine.timed_out:
-            for tool in self.tools:
-                tool.on_timeout(launch)
+            self.bus.publish_timeout(launch)
         else:
-            for tool in self.tools:
-                tool.on_launch_end(launch)
+            self.bus.publish_launch_end(launch)
 
         run = KernelRun(
             kernel_name=launch.kernel_name,
@@ -197,6 +199,7 @@ class Device:
             timing=timing,
         )
         self.runs.append(run)
+        self.bus.publish_kernel_end(run, launch)
         return run
 
 
@@ -332,9 +335,7 @@ class _Executor:
     # -- fan-out ----------------------------------------------------------
 
     def _notify_memory(self, event: MemoryEvent) -> None:
-        for tool in self.device.tools:
-            tool.on_memory(event, self.launch)
+        self.device.bus.publish_memory(event, self.launch)
 
     def _notify_sync(self, event: SyncEvent) -> None:
-        for tool in self.device.tools:
-            tool.on_sync(event, self.launch)
+        self.device.bus.publish_sync(event, self.launch)

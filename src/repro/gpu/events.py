@@ -7,6 +7,16 @@ its address and scope, and the identity of the issuing thread (thread,
 warp, block) plus the warp's *active mask* at that instant (section 6.3
 uses the active mask for lock-protocol inference; the coalescing
 optimization of section 6.5 uses it too).
+
+Beyond the per-instruction records, this module defines the boundary
+records of the full typed event stream published on the device's
+:class:`~repro.engine.bus.EventBus`: allocations (:class:`AllocEvent`),
+launch headers (:class:`LaunchEvent`), and kernel completion
+(:class:`KernelEndEvent`).  Together the five record kinds make one
+execution a self-contained, serializable artifact — the trace codec in
+:mod:`repro.engine.trace` writes exactly these records, and
+:mod:`repro.engine.replay` re-drives any detector from them without
+re-simulating the GPU.
 """
 
 from __future__ import annotations
@@ -92,3 +102,66 @@ class SyncEvent:
     active_mask: FrozenSet[int]
     scope: Scope = Scope.DEVICE
     batch: int = 0
+
+
+@dataclass(frozen=True)
+class AllocEvent:
+    """One application ``cudaMalloc``, as a serializable stream record.
+
+    Carries everything needed to rebuild the device's address map offline:
+    iGUARD sizes its metadata pre-faulting from these (section 6.1), and
+    replay reconstructs ``name[index]`` descriptions for race reports.
+    """
+
+    name: str
+    base: int
+    num_words: int
+
+    @classmethod
+    def of(cls, allocation) -> "AllocEvent":
+        """Build the record from a live :class:`~repro.gpu.memory.Allocation`."""
+        return cls(
+            name=allocation.name,
+            base=allocation.base,
+            num_words=allocation.num_words,
+        )
+
+
+@dataclass(frozen=True)
+class LaunchEvent:
+    """The header of one kernel launch in the event stream.
+
+    A serializable projection of :class:`~repro.instrument.nvbit.LaunchInfo`:
+    everything a detector reads from the launch except the live ``device``
+    and ``timing`` handles, which replay re-materializes.
+    """
+
+    kernel_name: str
+    grid_dim: int
+    block_dim: int
+    warp_size: int
+    warps_per_block: int
+    num_threads: int
+    seed: int
+    static_instruction_count: int
+    #: Effective lane parallelism of the launch's timing model, so replayed
+    #: Figure 13 breakdowns value parallel cycles identically.
+    parallelism: int
+
+
+@dataclass(frozen=True)
+class KernelEndEvent:
+    """Kernel completion: the stream's counterpart of a finished launch.
+
+    Records the executor-side outcome — whether the step budget expired,
+    the native cycle account, and the batch/instruction counts — so replay
+    can finalize tools (``on_launch_end`` / ``on_timeout``) and rebuild the
+    run's timing without re-executing instructions.
+    """
+
+    kernel_name: str
+    timed_out: bool
+    native_parallel: float
+    native_serial: float
+    batches: int
+    instructions: int

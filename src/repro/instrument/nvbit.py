@@ -77,3 +77,8 @@ class Tool:
     def on_timeout(self, launch: LaunchInfo) -> None:
         """Called when the step budget expires (the paper's timeout path:
         detected races are flushed to the CPU before termination)."""
+
+    def on_kernel_end(self, run, launch: LaunchInfo) -> None:
+        """Called once the completed :class:`~repro.gpu.device.KernelRun`
+        exists, after ``on_launch_end``/``on_timeout``.  Optional: the bus
+        skips sinks that don't define it."""

@@ -63,6 +63,20 @@ class Tracer(Tool):
     def attach(self, device) -> None:
         self._device = device
 
+    @classmethod
+    def from_trace(cls, trace, **kwargs) -> "Tracer":
+        """Rebuild a rendered trace from a recorded event stream.
+
+        ``trace`` is a :class:`~repro.engine.trace.Trace` (or any iterable
+        of stream records); the tracer observes it through
+        :func:`repro.engine.replay.replay` instead of a live device.
+        """
+        from repro.engine.replay import replay
+
+        tracer = cls(**kwargs)
+        replay(trace, tools=[tracer])
+        return tracer
+
     # ------------------------------------------------------------------
 
     def _push(self, batch: int, kind: str, where, detail: str) -> None:

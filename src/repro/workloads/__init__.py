@@ -13,7 +13,7 @@ detector.
 
 from repro.workloads.base import Workload, WorkloadResult
 from repro.workloads.registry import REGISTRY, get_workload, racy_workloads, racefree_workloads
-from repro.workloads.runner import run_workload
+from repro.workloads.runner import run_suite, run_workload
 
 __all__ = [
     "Workload",
@@ -23,4 +23,5 @@ __all__ = [
     "racy_workloads",
     "racefree_workloads",
     "run_workload",
+    "run_suite",
 ]

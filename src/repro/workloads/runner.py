@@ -11,12 +11,23 @@ device, optionally with a detector attached, and returns a
   ``timeout`` (CPU-side processing exceeding its budget — the paper's
   "did not terminate"), and ``oom`` (the 50% buffer reservation);
 - overheads come from the run's timing breakdown (averaged over seeds).
+
+Execution and merging are separate stages: each (workload, detector,
+seed) cell runs independently (:func:`_run_one_seed` → a picklable
+:class:`SeedOutcome`) and :func:`_merge_outcomes` folds the outcomes into
+one result with the exact semantics the old serial loop had.  That split
+is what lets ``workers > 1`` fan cells out over processes
+(:func:`repro.engine.parallel.parallel_map`) and still merge
+deterministically — same seeds, same sites, same timing, any worker
+count.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.engine.parallel import parallel_map
 from repro.errors import (
     DeadlockError,
     OutOfMemoryError,
@@ -31,87 +42,144 @@ from repro.workloads.base import SIM_GPU, Workload, WorkloadResult
 ToolFactory = Optional[Callable[[], Tool]]
 
 
-def run_workload(
-    workload: Workload,
-    tool_factory: ToolFactory = None,
-    config: GPUConfig = SIM_GPU,
-    seeds=None,
-) -> WorkloadResult:
-    """Execute ``workload`` under a detector built by ``tool_factory``.
+def detector_name(tool_factory: ToolFactory) -> str:
+    """The detector name a factory will produce, without instantiating it.
 
-    ``tool_factory`` of None runs natively (no detection).  Each seed gets
-    a fresh device and a fresh tool; race sites are unioned across seeds
-    and timing is averaged.
+    Detector factories are normally the Tool subclasses themselves
+    (``IGuard``, ``Barracuda``), whose ``name`` is a class attribute;
+    building a throwaway instance just to read it would allocate detector
+    state for nothing.  Opaque callables fall back to one instantiation.
     """
-    seeds = tuple(seeds) if seeds is not None else workload.seeds
-    detector_name = "native"
+    if tool_factory is None:
+        return "native"
+    name = getattr(tool_factory, "name", None)
+    if isinstance(name, str):
+        return name
+    return tool_factory().name
+
+
+@dataclass
+class SeedOutcome:
+    """What one (workload, detector, seed) cell produced.
+
+    A plain picklable record, so cells can execute in worker processes
+    and be merged by the parent.  ``overhead`` is None when the device
+    completed no kernel runs (the seed failed before any launch
+    finished).
+    """
+
+    status: str = "ok"
+    detail: str = ""
+    sites: Dict[str, str] = field(default_factory=dict)
+    overhead: Optional[float] = None
+    native_time: float = 0.0
+    total_time: float = 0.0
+    breakdown: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _SeedTask:
+    """One executable cell of a suite: picklable worker-process input."""
+
+    workload: Workload
+    tool_factory: ToolFactory
+    config: GPUConfig
+    seed: int
+
+
+def _run_seed_task(task: _SeedTask) -> SeedOutcome:
+    """Module-level trampoline so Pool.map can pickle the callable."""
+    return _run_one_seed(task.workload, task.tool_factory, task.config, task.seed)
+
+
+def _run_one_seed(
+    workload: Workload,
+    tool_factory: ToolFactory,
+    config: GPUConfig,
+    seed: int,
+) -> SeedOutcome:
+    """Execute one seed on a fresh device and collect its outcome."""
+    device = Device(config)
+    tool = None
     if tool_factory is not None:
-        detector_name = tool_factory().name
+        tool = device.add_tool(tool_factory())
+    status, detail = "ok", ""
+    try:
+        workload.run(device, seed)
+    except UnsupportedFeatureError as exc:
+        return SeedOutcome(status="unsupported", detail=str(exc))
+    except OutOfMemoryError as exc:
+        return SeedOutcome(status="oom", detail=str(exc))
+    except TimeoutError_ as exc:
+        status, detail = "timeout", str(exc)
+    except DeadlockError as exc:
+        # A racy kernel deadlocking is a legitimate observation; the
+        # detector's races up to that point stand.
+        detail = f"deadlock: {exc}"
+    return _collect_outcome(device, tool, status, detail)
 
-    # Barracuda executes PTX embedded in the binary; real-world multi-file
-    # libraries defeat that, so it cannot run them at all (section 7.1).
-    if workload.complex_binary and detector_name in ("Barracuda", "CURD"):
-        return WorkloadResult(
-            workload=workload.name,
-            detector=detector_name,
-            status="unsupported",
-            detail="cannot embed a single PTX file for a multi-file library",
-        )
 
-    sites = {}
-    overheads = []
-    native_times = []
-    total_times = []
-    breakdown = {}
-    detail = ""
-    status = "ok"
+def _collect_outcome(device, tool, status: str, detail: str) -> SeedOutcome:
+    """Harvest races and timing from a finished (or timed-out) seed."""
+    outcome = SeedOutcome(status=status, detail=detail)
+    races = getattr(tool, "races", None)
+    if races is not None:
+        for ip, race_type in races.sites():
+            outcome.sites[ip] = str(race_type)
+    if device.runs:
+        native = sum(r.native_time for r in device.runs)
+        total = sum(r.total_time for r in device.runs)
+        outcome.overhead = total / native if native > 0 else 1.0
+        outcome.native_time = native
+        outcome.total_time = total
+        outcome.breakdown = _sum_breakdowns(device)
+    return outcome
 
-    for seed in seeds:
-        device = Device(config)
-        tool = None
-        if tool_factory is not None:
-            tool = device.add_tool(tool_factory())
-        try:
-            workload.run(device, seed)
-        except UnsupportedFeatureError as exc:
+
+def _merge_outcomes(
+    workload_name: str,
+    detector: str,
+    outcomes: Iterable[SeedOutcome],
+) -> WorkloadResult:
+    """Fold per-seed outcomes into one result, in seed order.
+
+    Semantics match the historical serial loop exactly: ``unsupported``
+    and ``oom`` abort immediately and discard earlier seeds; ``timeout``
+    keeps that seed's races/timing and stops consuming further seeds
+    (with a lazy iterable, later seeds are never even executed); a
+    deadlock only annotates ``detail``.
+    """
+    sites: Dict[str, str] = {}
+    overheads: List[float] = []
+    native_times: List[float] = []
+    total_times: List[float] = []
+    breakdown: dict = {}
+    status, detail = "ok", ""
+
+    for outcome in outcomes:
+        if outcome.status in ("unsupported", "oom"):
             return WorkloadResult(
-                workload=workload.name,
-                detector=detector_name,
-                status="unsupported",
-                detail=str(exc),
+                workload=workload_name,
+                detector=detector,
+                status=outcome.status,
+                detail=outcome.detail,
             )
-        except OutOfMemoryError as exc:
-            return WorkloadResult(
-                workload=workload.name,
-                detector=detector_name,
-                status="oom",
-                detail=str(exc),
-            )
-        except TimeoutError_ as exc:
+        if outcome.detail:
+            detail = outcome.detail
+        if outcome.status == "timeout":
             status = "timeout"
-            detail = str(exc)
-        except DeadlockError as exc:
-            # A racy kernel deadlocking is a legitimate observation; the
-            # detector's races up to that point stand.
-            detail = f"deadlock: {exc}"
-
-        races = getattr(tool, "races", None)
-        if races is not None:
-            for ip, race_type in races.sites():
-                sites[ip] = str(race_type)
-        if device.runs:
-            native = sum(r.native_time for r in device.runs)
-            total = sum(r.total_time for r in device.runs)
-            overheads.append(total / native if native > 0 else 1.0)
-            native_times.append(native)
-            total_times.append(total)
-            breakdown = _sum_breakdowns(device)
+        sites.update(outcome.sites)
+        if outcome.overhead is not None:
+            overheads.append(outcome.overhead)
+            native_times.append(outcome.native_time)
+            total_times.append(outcome.total_time)
+            breakdown = outcome.breakdown
         if status == "timeout":
             break
 
     return WorkloadResult(
-        workload=workload.name,
-        detector=detector_name,
+        workload=workload_name,
+        detector=detector,
         status=status,
         races=len(sites),
         race_types=frozenset(sites.values()),
@@ -122,6 +190,111 @@ def run_workload(
         breakdown=breakdown,
         detail=detail,
     )
+
+
+def _unsupported_binary(workload: Workload, detector: str) -> WorkloadResult:
+    return WorkloadResult(
+        workload=workload.name,
+        detector=detector,
+        status="unsupported",
+        detail="cannot embed a single PTX file for a multi-file library",
+    )
+
+
+def run_workload(
+    workload: Workload,
+    tool_factory: ToolFactory = None,
+    config: GPUConfig = SIM_GPU,
+    seeds=None,
+    workers: int = 1,
+) -> WorkloadResult:
+    """Execute ``workload`` under a detector built by ``tool_factory``.
+
+    ``tool_factory`` of None runs natively (no detection).  Each seed gets
+    a fresh device and a fresh tool; race sites are unioned across seeds
+    and timing is averaged.  With ``workers > 1`` the seeds run in
+    parallel processes; the merged result is identical to the serial one.
+    """
+    seeds = tuple(seeds) if seeds is not None else workload.seeds
+    name = detector_name(tool_factory)
+
+    # Barracuda executes PTX embedded in the binary; real-world multi-file
+    # libraries defeat that, so it cannot run them at all (section 7.1).
+    if workload.complex_binary and name in ("Barracuda", "CURD"):
+        return _unsupported_binary(workload, name)
+
+    if workers > 1 and len(seeds) > 1:
+        tasks = [
+            _SeedTask(workload, tool_factory, config, seed) for seed in seeds
+        ]
+        outcomes: Iterable[SeedOutcome] = parallel_map(
+            _run_seed_task, tasks, workers
+        )
+    else:
+        # Lazy: a timeout at seed k stops later seeds from ever running,
+        # exactly as the historical loop's `break` did.
+        outcomes = (
+            _run_one_seed(workload, tool_factory, config, seed)
+            for seed in seeds
+        )
+    return _merge_outcomes(workload.name, name, outcomes)
+
+
+def run_suite(
+    requests,
+    workers: int = 1,
+    config: GPUConfig = SIM_GPU,
+) -> List[WorkloadResult]:
+    """Run many (workload, tool_factory, seeds) cells, optionally parallel.
+
+    ``requests`` is a sequence of ``(workload, tool_factory, seeds)``
+    tuples (``seeds`` of None means the workload's pinned seeds).  Results
+    come back in request order.  With ``workers > 1``, *all* requests'
+    seed cells are flattened into one task list and fanned out together,
+    so parallelism crosses request boundaries — the useful shape for the
+    experiment drivers, whose cells are many small independent runs.
+    """
+    expanded = [
+        (
+            workload,
+            tool_factory,
+            tuple(seeds) if seeds is not None else workload.seeds,
+        )
+        for workload, tool_factory, seeds in requests
+    ]
+    if workers <= 1:
+        return [
+            run_workload(workload, tool_factory, config=config, seeds=seeds)
+            for workload, tool_factory, seeds in expanded
+        ]
+
+    tasks: List[_SeedTask] = []
+    plan: List[Tuple] = []
+    for workload, tool_factory, seeds in expanded:
+        name = detector_name(tool_factory)
+        if workload.complex_binary and name in ("Barracuda", "CURD"):
+            plan.append(("done", _unsupported_binary(workload, name)))
+            continue
+        start = len(tasks)
+        tasks.extend(
+            _SeedTask(workload, tool_factory, config, seed) for seed in seeds
+        )
+        plan.append(("merge", workload.name, name, start, len(seeds)))
+
+    outcomes = parallel_map(_run_seed_task, tasks, workers)
+
+    results: List[WorkloadResult] = []
+    for entry in plan:
+        if entry[0] == "done":
+            results.append(entry[1])
+        else:
+            _, workload_name, name, start, count = entry
+            results.append(
+                _merge_outcomes(
+                    workload_name, name, outcomes[start : start + count]
+                )
+            )
+    return results
 
 
 def _sum_breakdowns(device: Device) -> dict:

@@ -1,0 +1,81 @@
+"""The parallel suite executor merges identically to the serial path."""
+
+from repro.core import IGuard
+from repro.engine.parallel import parallel_map
+from repro.workloads import get_workload, run_suite, run_workload
+from repro.workloads.runner import _SeedTask, _run_seed_task, detector_name
+
+
+class TestParallelMap:
+    def test_inline_fallbacks(self):
+        assert parallel_map(abs, [-1, -2, -3], workers=1) == [1, 2, 3]
+        assert parallel_map(abs, [-5], workers=8) == [5]
+        assert parallel_map(abs, [], workers=8) == []
+
+    def test_order_preserved_across_processes(self):
+        items = list(range(20))
+        assert parallel_map(abs, items, workers=4) == items
+
+
+class TestDetectorName:
+    def test_class_factory_is_not_instantiated(self):
+        class Exploding(IGuard):
+            name = "exploding"
+
+            def __init__(self):
+                raise AssertionError("factory must not be called for a name")
+
+        assert detector_name(Exploding) == "exploding"
+
+    def test_opaque_callable_falls_back(self):
+        assert detector_name(lambda: IGuard()) == IGuard.name
+
+    def test_none_is_native(self):
+        assert detector_name(None) == "native"
+
+
+class TestParallelEqualsSerial:
+    """Satellite acceptance: workers=4 merges identically to workers=1."""
+
+    def test_run_workload_equivalence(self):
+        workload = get_workload("b_scan")
+        serial = run_workload(workload, IGuard, seeds=(1, 2, 3, 4))
+        parallel = run_workload(workload, IGuard, seeds=(1, 2, 3, 4), workers=4)
+        assert parallel == serial
+
+    def test_run_workload_racy_equivalence(self):
+        workload = get_workload("graph-color")
+        serial = run_workload(workload, IGuard)
+        parallel = run_workload(workload, IGuard, workers=4)
+        assert parallel == serial
+        assert parallel.races > 0
+
+    def test_run_suite_equivalence(self):
+        requests = [
+            (get_workload("b_scan"), IGuard, None),
+            (get_workload("1dconv"), IGuard, None),
+            (get_workload("b_reduce"), None, (1,)),
+        ]
+        serial = run_suite(requests, workers=1)
+        parallel = run_suite(requests, workers=4)
+        assert parallel == serial
+        assert [r.workload for r in parallel] == ["b_scan", "1dconv", "b_reduce"]
+
+    def test_run_suite_complex_binary_precheck(self):
+        from repro.baselines import Barracuda
+
+        workload = get_workload("louvain")
+        assert workload.complex_binary
+        serial = run_suite([(workload, Barracuda, None)], workers=1)
+        parallel = run_suite([(workload, Barracuda, None)], workers=4)
+        assert serial == parallel
+        assert parallel[0].status == "unsupported"
+
+    def test_seed_task_roundtrip(self):
+        # The worker-side trampoline reproduces the in-process outcome.
+        workload = get_workload("1dconv")
+        from repro.workloads.base import SIM_GPU
+        from repro.workloads.runner import _run_one_seed
+
+        task = _SeedTask(workload, IGuard, SIM_GPU, seed=1)
+        assert _run_seed_task(task) == _run_one_seed(workload, IGuard, SIM_GPU, 1)
