@@ -6,12 +6,24 @@ pack and unpack metadata through the same field layout instead of storing a
 loose Python object.  :class:`BitStruct` describes a 64-bit word as an
 ordered list of named :class:`BitField` ranges and converts between integers
 and dictionaries of field values.
+
+Two access paths share one layout description:
+
+- the *reference* path (:meth:`BitStruct.pack` / :meth:`BitStruct.unpack`)
+  walks fields one by one through dictionaries — readable, and the ground
+  truth the property tests compare against;
+- the *compiled* path (:attr:`BitStruct.encode` / :attr:`BitStruct.decode_all`
+  plus :meth:`compile_getter` / :meth:`compile_setter` / :meth:`compile_decoder`)
+  bakes every mask and shift into one ``eval``-built closure, so a whole
+  word packs or unpacks in a single expression with zero per-field name
+  lookups.  The hot metadata code in :mod:`repro.core.metadata` runs on
+  the compiled path; both are equivalent bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Callable, Dict, Iterable, Tuple
 
 from repro.errors import ConfigError
 
@@ -73,6 +85,73 @@ class BitStruct:
                 raise ConfigError(f"overlapping field {field.name} in {name}")
             used |= field.mask
             self._by_name[field.name] = field
+        #: Compiled whole-word codecs (equivalent to pack/unpack).
+        self.encode: Callable[..., int] = self._compile_encoder()
+        self.decode_all: Callable[[int], Tuple[int, ...]] = (
+            self.compile_decoder(*(f.name for f in self.fields))
+        )
+
+    # -- compiled codecs -------------------------------------------------
+
+    @staticmethod
+    def _shifted(arg: str, field: BitField) -> str:
+        """Source of ``(arg & width_mask) << lo`` with trivial shifts elided."""
+        masked = f"({arg} & {field.max_value})"
+        return f"{masked} << {field.lo}" if field.lo else masked
+
+    @staticmethod
+    def _extracted(field: BitField) -> str:
+        """Source of ``(word >> lo) & width_mask`` with trivial shifts elided."""
+        shifted = f"word >> {field.lo}" if field.lo else "word"
+        return f"({shifted}) & {field.max_value}"
+
+    def _compile_encoder(self) -> Callable[..., int]:
+        """A closure packing every field (positionally, declaration order)
+        into one word: ``encode(v0, v1, ...) == pack(name0=v0, ...)``."""
+        if not self.fields:
+            return lambda: 0
+        args = ", ".join(f"v{i}" for i in range(len(self.fields)))
+        body = " | ".join(
+            f"({self._shifted(f'v{i}', field)})"
+            for i, field in enumerate(self.fields)
+        )
+        return eval(f"lambda {args}: {body}", {"__builtins__": {}})
+
+    def compile_decoder(self, *names: str) -> Callable[[int], Tuple[int, ...]]:
+        """A closure extracting the named fields as one tuple.
+
+        ``struct.decode_all(word)`` (all fields, declaration order) is the
+        precompiled instance; subsets serve hot readers that want a few
+        fields without dict building.
+        """
+        parts = ", ".join(self._extracted(self._by_name[n]) for n in names)
+        if len(names) == 1:
+            parts += ","
+        return eval(f"lambda word: ({parts})", {"__builtins__": {}})
+
+    def compile_getter(self, name: str) -> Callable[[int], int]:
+        """A closure extracting one named field (compiled :meth:`get`)."""
+        return eval(
+            f"lambda word: {self._extracted(self._by_name[name])}",
+            {"__builtins__": {}},
+        )
+
+    def compile_setter(self, *names: str) -> Callable[..., int]:
+        """A closure overwriting the named fields in one expression.
+
+        ``setter(word, v0, v1, ...)`` equals chaining :meth:`set` for each
+        name in order (values truncated to field width, other bits kept).
+        """
+        fields = [self._by_name[n] for n in names]
+        keep = (1 << 64) - 1
+        for field in fields:
+            keep &= ~field.mask
+        args = ", ".join(f"v{i}" for i in range(len(fields)))
+        body = " | ".join(
+            [f"(word & {keep})"]
+            + [f"({self._shifted(f'v{i}', field)})" for i, field in enumerate(fields)]
+        )
+        return eval(f"lambda word, {args}: {body}", {"__builtins__": {}})
 
     def field(self, name: str) -> BitField:
         """Look up a field by name."""

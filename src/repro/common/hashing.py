@@ -9,6 +9,8 @@ mixing function with good avalanche behaviour.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -20,12 +22,15 @@ def mix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
+@lru_cache(maxsize=1 << 15)
 def address_hash18(address: int) -> int:
     """The 18-bit lock-table address hash of Figure 7.
 
     Hardware would select address bits rather than run a mixing function;
     we hash the 4-byte granule index by identity, which keeps nearby lock
     variables distinguishable (important for the Bloom summary below).
+    Memoized so the handful of lock addresses a kernel hammers map to one
+    canonical small int instead of re-deriving per acquire/release.
     """
     return (address >> 2) & ((1 << 18) - 1)
 

@@ -50,6 +50,13 @@ class IGuardConfig:
     #: Reset memory metadata at each kernel launch: the implicit barrier at
     #: kernel completion orders everything across kernels (section 2.1).
     reset_metadata_per_kernel: bool = True
+    #: Same-epoch check elision (FastTrack-style fast path): when a thread
+    #: re-accesses a granule with unchanged metadata words, sync epoch,
+    #: access kind and scope, the Table 2 re-check is skipped — the paper's
+    #: ``check_per_access`` cycles are still charged, so races, race types
+    #: and cycle breakdowns are bit-identical with the knob on or off;
+    #: only the reproduction's own wall-clock time changes.
+    fast_path: bool = True
     #: How many previous accessors to track per granule.  The paper's
     #: default (and pragmatic choice) is 1 — only the last accessor and
     #: last writer fit in the 16-byte entry.  Section 6.7's ablation

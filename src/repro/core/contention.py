@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import log2
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -52,8 +52,11 @@ class ContentionModel:
         num_threads: int,
         concurrent_warps: int,
         dynamic_backoff: bool = True,
-        params: ContentionParams = ContentionParams(),
+        params: Optional[ContentionParams] = None,
     ):
+        # A fresh instance per model, not a def-time default shared by all.
+        if params is None:
+            params = ContentionParams()
         self.params = params
         self.dynamic_backoff = dynamic_backoff
         self.num_threads = max(1, num_threads)

@@ -61,6 +61,11 @@ class LockTable:
         #: How many inserts were dropped because the table was full; the
         #: paper sizes the table at 3 and found it sufficient in practice.
         self.overflows = 0
+        #: Packed Bloom summary of held locks, rebuilt lazily after any
+        #: mutation.  The detector reads the summary once per checked
+        #: access, while the table changes only on acquire/fence/release —
+        #: the cache turns the common read into one attribute load.
+        self._bloom_int: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -80,6 +85,7 @@ class LockTable:
                 entry.active = False
                 entry.scope = scope.effective
                 entry.addr_hash = addr_hash
+                self._bloom_int = None
                 return True
         self.overflows += 1
         return False
@@ -98,6 +104,8 @@ class LockTable:
                 if fence_scope.effective.covers(entry.scope):
                     entry.active = True
                     activated += 1
+        if activated:
+            self._bloom_int = None
         return activated
 
     def release(self, lock_address: int, scope: Scope) -> bool:
@@ -107,6 +115,7 @@ class LockTable:
             if entry.matches(addr_hash, scope):
                 entry.valid = False
                 entry.active = False
+                self._bloom_int = None
                 return True
         return False
 
@@ -119,6 +128,13 @@ class LockTable:
     def locks_bloom(self) -> BloomFilter16:
         """The 16-bit 2-way Bloom summary of held locks (metadata field)."""
         return BloomFilter16.of(self.held_hashes())
+
+    def locks_bloom_int(self) -> int:
+        """``int(locks_bloom())`` served from the post-mutation cache."""
+        value = self._bloom_int
+        if value is None:
+            value = self._bloom_int = int(BloomFilter16.of(self.held_hashes()))
+        return value
 
     def holds_any(self) -> bool:
         """Whether any lock is currently held."""

@@ -26,6 +26,7 @@ narrow on purpose — they wrap exactly as the paper's do (section 6.7).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional
 
 from repro.common.bitfield import BitField, BitStruct
@@ -75,8 +76,45 @@ BLK_BAR_BITS = ACCESSOR_WORD.field("BlkBarID").width  # 8
 WARP_BAR_BITS = ACCESSOR_WORD.field("WarpBarID").width  # 6
 TAG_BITS = ACCESSOR_WORD.field("Tag").width  # 10
 
+# ---------------------------------------------------------------------------
+# Compiled fast codec: every mask/shift baked into one closure per touch.
+# The reference field-by-field path (BitStruct.get/set) stays the ground
+# truth; the property tests assert both paths agree bit for bit.
+# ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+#: Flag masks for single-bit tests without field lookups.
+_VALID_MASK = ACCESSOR_WORD.field("Valid").mask
+_MODIFIED_MASK = ACCESSOR_WORD.field("Modified").mask
+_ATOMIC_MASK = ACCESSOR_WORD.field("Atomic").mask
+_SCOPE_MASK = ACCESSOR_WORD.field("Scope").mask
+_DEV_SHARED_MASK = ACCESSOR_WORD.field("DevShared").mask
+_BLK_SHARED_MASK = ACCESSOR_WORD.field("BlkShared").mask
+_FLAG_MASKS = {
+    name: ACCESSOR_WORD.field(name).mask
+    for name in ("Valid", "Modified", "Atomic", "Scope", "DevShared", "BlkShared")
+}
+
+_GET_TAG = ACCESSOR_WORD.compile_getter("Tag")
+_GET_WRITER_LOCKS = WRITER_WORD.compile_getter("Locks")
+
+#: Identity + sync snapshot, in AccessorView field order (sans locks).
+_VIEW_FIELDS = (
+    "WarpID", "ThreadID", "DevFenceID", "BlkFenceID", "BlkBarID", "WarpBarID"
+)
+_DECODE_ACCESSOR = ACCESSOR_WORD.compile_decoder(*_VIEW_FIELDS)
+_DECODE_WRITER = WRITER_WORD.compile_decoder(*_VIEW_FIELDS, "Locks")
+
+_SET_ACCESSOR = ACCESSOR_WORD.compile_setter(
+    "Tag", "Valid", "WarpID", "ThreadID",
+    "DevFenceID", "BlkFenceID", "BlkBarID", "WarpBarID",
+)
+_SET_WRITER = WRITER_WORD.compile_setter(
+    "Locks", "WarpID", "ThreadID",
+    "DevFenceID", "BlkFenceID", "BlkBarID", "WarpBarID",
+)
+
+
+@dataclass(frozen=True, slots=True)
 class AccessorView:
     """Unpacked identity + sync snapshot of one metadata word."""
 
@@ -93,6 +131,23 @@ class AccessorView:
         return block_of_warp(self.warp_id, warps_per_block)
 
 
+@lru_cache(maxsize=8192)
+def _accessor_view(word: int, locks: int) -> AccessorView:
+    """Decode-memo for last-accessor words.
+
+    Hot loops touch the same few granules over and over; the (word, locks)
+    pair fully determines the immutable view, so repeated touches share
+    one decoded instance instead of re-extracting seven fields.
+    """
+    return AccessorView(*_DECODE_ACCESSOR(word), locks)
+
+
+@lru_cache(maxsize=8192)
+def _writer_view(word: int) -> AccessorView:
+    """Decode-memo for last-writer words (locks live in the same word)."""
+    return AccessorView(*_DECODE_WRITER(word))
+
+
 class MetadataEntry:
     """One 16-byte metadata entry, stored as two packed 64-bit words."""
 
@@ -106,63 +161,51 @@ class MetadataEntry:
 
     @property
     def valid(self) -> bool:
-        return bool(ACCESSOR_WORD.get(self.accessor_word, "Valid"))
+        return bool(self.accessor_word & _VALID_MASK)
 
     @property
     def modified(self) -> bool:
-        return bool(ACCESSOR_WORD.get(self.accessor_word, "Modified"))
+        return bool(self.accessor_word & _MODIFIED_MASK)
 
     @property
     def atomic(self) -> bool:
-        return bool(ACCESSOR_WORD.get(self.accessor_word, "Atomic"))
+        return bool(self.accessor_word & _ATOMIC_MASK)
 
     @property
     def scope_is_block(self) -> bool:
         """Scope flag: 1 if the last atomic used threadblock scope."""
-        return bool(ACCESSOR_WORD.get(self.accessor_word, "Scope"))
+        return bool(self.accessor_word & _SCOPE_MASK)
 
     @property
     def dev_shared(self) -> bool:
-        return bool(ACCESSOR_WORD.get(self.accessor_word, "DevShared"))
+        return bool(self.accessor_word & _DEV_SHARED_MASK)
 
     @property
     def blk_shared(self) -> bool:
-        return bool(ACCESSOR_WORD.get(self.accessor_word, "BlkShared"))
+        return bool(self.accessor_word & _BLK_SHARED_MASK)
 
     @property
     def tag(self) -> int:
-        return ACCESSOR_WORD.get(self.accessor_word, "Tag")
+        return _GET_TAG(self.accessor_word)
 
     def set_flag(self, name: str, value: bool) -> None:
-        self.accessor_word = ACCESSOR_WORD.set(self.accessor_word, name, int(value))
+        mask = _FLAG_MASKS[name]
+        if value:
+            self.accessor_word |= mask
+        else:
+            self.accessor_word &= ~mask
 
     # -- views -----------------------------------------------------------
 
     @property
     def last_accessor(self) -> AccessorView:
-        word = self.accessor_word
-        return AccessorView(
-            warp_id=ACCESSOR_WORD.get(word, "WarpID"),
-            lane=ACCESSOR_WORD.get(word, "ThreadID"),
-            dev_fence=ACCESSOR_WORD.get(word, "DevFenceID"),
-            blk_fence=ACCESSOR_WORD.get(word, "BlkFenceID"),
-            blk_bar=ACCESSOR_WORD.get(word, "BlkBarID"),
-            warp_bar=ACCESSOR_WORD.get(word, "WarpBarID"),
-            locks=WRITER_WORD.get(self.writer_word, "Locks"),
+        return _accessor_view(
+            self.accessor_word, _GET_WRITER_LOCKS(self.writer_word)
         )
 
     @property
     def last_writer(self) -> AccessorView:
-        word = self.writer_word
-        return AccessorView(
-            warp_id=WRITER_WORD.get(word, "WarpID"),
-            lane=WRITER_WORD.get(word, "ThreadID"),
-            dev_fence=WRITER_WORD.get(word, "DevFenceID"),
-            blk_fence=WRITER_WORD.get(word, "BlkFenceID"),
-            blk_bar=WRITER_WORD.get(word, "BlkBarID"),
-            warp_bar=WRITER_WORD.get(word, "WarpBarID"),
-            locks=WRITER_WORD.get(word, "Locks"),
-        )
+        return _writer_view(self.writer_word)
 
     # -- updates ---------------------------------------------------------
 
@@ -177,16 +220,10 @@ class MetadataEntry:
         warp_bar: int,
     ) -> None:
         """Record the current access in the last-accessor word."""
-        word = self.accessor_word
-        word = ACCESSOR_WORD.set(word, "Tag", tag)
-        word = ACCESSOR_WORD.set(word, "Valid", 1)
-        word = ACCESSOR_WORD.set(word, "WarpID", warp_id)
-        word = ACCESSOR_WORD.set(word, "ThreadID", lane)
-        word = ACCESSOR_WORD.set(word, "DevFenceID", dev_fence)
-        word = ACCESSOR_WORD.set(word, "BlkFenceID", blk_fence)
-        word = ACCESSOR_WORD.set(word, "BlkBarID", blk_bar)
-        word = ACCESSOR_WORD.set(word, "WarpBarID", warp_bar)
-        self.accessor_word = word
+        self.accessor_word = _SET_ACCESSOR(
+            self.accessor_word,
+            tag, 1, warp_id, lane, dev_fence, blk_fence, blk_bar, warp_bar,
+        )
 
     def set_writer(
         self,
@@ -199,15 +236,10 @@ class MetadataEntry:
         locks: int,
     ) -> None:
         """Record the current write in the last-writer word."""
-        word = self.writer_word
-        word = WRITER_WORD.set(word, "Locks", locks)
-        word = WRITER_WORD.set(word, "WarpID", warp_id)
-        word = WRITER_WORD.set(word, "ThreadID", lane)
-        word = WRITER_WORD.set(word, "DevFenceID", dev_fence)
-        word = WRITER_WORD.set(word, "BlkFenceID", blk_fence)
-        word = WRITER_WORD.set(word, "BlkBarID", blk_bar)
-        word = WRITER_WORD.set(word, "WarpBarID", warp_bar)
-        self.writer_word = word
+        self.writer_word = _SET_WRITER(
+            self.writer_word,
+            locks, warp_id, lane, dev_fence, blk_fence, blk_bar, warp_bar,
+        )
 
 
 class MetadataTable:
@@ -221,18 +253,34 @@ class MetadataTable:
         self.granularity_bytes = granularity_bytes
         self.entry_bytes = entry_bytes
         self._entries: Dict[int, MetadataEntry] = {}
+        #: Power-of-two granularities (all the config allows) divide by a
+        #: shift on the hot path; anything else falls back to division.
+        self._granule_shift: Optional[int] = (
+            granularity_bytes.bit_length() - 1
+            if granularity_bytes & (granularity_bytes - 1) == 0
+            else None
+        )
 
     def granule_of(self, address: int) -> int:
         """Index of the granule shadowing ``address``."""
+        if self._granule_shift is not None:
+            return address >> self._granule_shift
         return address // self.granularity_bytes
 
     def tag_of(self, address: int) -> int:
         """The address tag stored to disambiguate granules (Figure 4)."""
         return self.granule_of(address) & ((1 << TAG_BITS) - 1)
 
+    def tag_of_granule(self, granule: int) -> int:
+        """``tag_of`` for callers that already hold the granule index."""
+        return granule & ((1 << TAG_BITS) - 1)
+
     def lookup(self, address: int) -> MetadataEntry:
         """Fetch (creating if absent) the entry shadowing ``address``."""
-        granule = self.granule_of(address)
+        return self.lookup_granule(self.granule_of(address))
+
+    def lookup_granule(self, granule: int) -> MetadataEntry:
+        """``lookup`` for callers that already hold the granule index."""
         entry = self._entries.get(granule)
         if entry is None:
             entry = MetadataEntry()

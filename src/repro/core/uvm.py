@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional
 
 MiB = 1024 * 1024
 
@@ -51,8 +52,11 @@ class ManagedMetadataSpace:
         metadata_virtual_bytes: int,
         device_free_bytes: int,
         prefault: bool = True,
-        params: UVMParams = UVMParams(),
+        params: Optional[UVMParams] = None,
     ):
+        # A fresh instance per space, not a def-time default shared by all.
+        if params is None:
+            params = UVMParams()
         self.params = params
         self.metadata_virtual_bytes = metadata_virtual_bytes
         #: Device pages available to metadata after application allocations.

@@ -39,12 +39,24 @@ class EventBus:
 
     Sinks are invoked synchronously in registration order, which preserves
     the exact callback sequence tools saw before the bus existed.
+
+    The common deployment is a single detector riding one execution, and
+    the per-instruction publishes are the hottest calls in the system —
+    so ``publish_memory``/``publish_sync`` carry a monomorphic fast path:
+    with exactly one sink the bus calls a cached bound method instead of
+    looping and re-resolving ``sink.on_memory`` per event.  The cache is
+    guarded by identity against ``sinks`` (which legacy code may append
+    to directly via the ``device.tools`` alias), so mutations from any
+    path fall back to the general loop and re-prime the cache.
     """
 
-    __slots__ = ("sinks",)
+    __slots__ = ("sinks", "_solo", "_solo_memory", "_solo_sync")
 
     def __init__(self) -> None:
         self.sinks: List = []
+        self._solo = None
+        self._solo_memory = None
+        self._solo_sync = None
 
     def add_sink(self, sink, device=None):
         """Register a sink; if ``device`` is given, attach the sink to it."""
@@ -58,6 +70,15 @@ class EventBus:
     def remove_sink(self, sink) -> None:
         """Unregister a sink (no further events are delivered to it)."""
         self.sinks.remove(sink)
+        self._solo = None
+        self._solo_memory = None
+        self._solo_sync = None
+
+    def _prime_solo(self, sink) -> None:
+        """Cache the single sink's bound hot callbacks."""
+        self._solo = sink
+        self._solo_memory = sink.on_memory
+        self._solo_sync = sink.on_sync
 
     # -- publication ----------------------------------------------------
 
@@ -70,11 +91,23 @@ class EventBus:
             sink.on_launch_begin(launch)
 
     def publish_memory(self, event, launch) -> None:
-        for sink in self.sinks:
+        sinks = self.sinks
+        if len(sinks) == 1:
+            if sinks[0] is not self._solo:
+                self._prime_solo(sinks[0])
+            self._solo_memory(event, launch)
+            return
+        for sink in sinks:
             sink.on_memory(event, launch)
 
     def publish_sync(self, event, launch) -> None:
-        for sink in self.sinks:
+        sinks = self.sinks
+        if len(sinks) == 1:
+            if sinks[0] is not self._solo:
+                self._prime_solo(sinks[0])
+            self._solo_sync(event, launch)
+            return
+        for sink in sinks:
             sink.on_sync(event, launch)
 
     def publish_launch_end(self, launch) -> None:

@@ -1,0 +1,388 @@
+"""Wall-clock performance harness: ``python -m repro.experiments.bench``.
+
+Unlike the tables and figures, which report *simulated cycles*, this
+harness measures the reproduction's own speed — wall-clock events per
+second of the detection hot path — over a fixed basket of workloads with
+pinned scheduler seeds.  Its output is a ``BENCH_*.json`` artifact meant
+to be checked in per PR, so the events/sec trajectory of the codebase is
+observable and CI can hold the line against regressions.
+
+Metrics, per (workload, seed) cell and aggregated per suite and overall:
+
+- **events/sec** — memory-access events processed by the detector
+  (checked + coalesced) divided by the wall-clock time of the run;
+- **p50/p95 per-event cost** — microseconds per event across cells;
+- **elision rate** — the share of checked accesses the same-epoch fast
+  path elided (zero when the fast path is off or predates the knob).
+
+The harness also runs a *replay equivalence check*: a recorded trace is
+replayed through a fast-path-on and a fast-path-off detector and the
+races, race types, and per-category cycle breakdowns are compared for
+exact equality — the fast path's invariant is bit-identical detection
+output with only wall-clock time allowed to change.
+
+Modes (``--modes fast,slow``) toggle ``IGuardConfig.fast_path``.  On a
+checkout that predates the knob, both modes degrade to the default
+config, which is what makes the harness suitable for measuring a pre-PR
+baseline with the *same* timing loop.
+
+CI runs ``--smoke --check <baseline.json>``: a small basket, JSON
+uploaded as an artifact, non-zero exit if events/sec regresses more than
+30% against the checked-in smoke baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core import IGuard
+from repro.core.config import DEFAULT_CONFIG, IGuardConfig
+from repro.errors import DeadlockError, TimeoutError_
+from repro.gpu.device import Device
+from repro.workloads import racy_workloads
+from repro.workloads.base import SIM_GPU
+
+#: Workloads (by Table 4 name) of the quick CI basket.  Chosen to cover
+#: several suites while keeping the smoke job under a minute.
+SMOKE_BASKET = ("matrix-mult", "reduction", "graph-color", "reduceMB")
+
+#: Default regression tolerance for ``--check``: fail when events/sec
+#: drops below (1 - 0.30) x the checked-in baseline.
+REGRESSION_TOLERANCE = 0.30
+
+
+def _detector_config(fast_path: bool) -> IGuardConfig:
+    """The default config with the fast path toggled.
+
+    Degrades gracefully on checkouts whose ``IGuardConfig`` predates the
+    ``fast_path`` knob (used to measure pre-PR baselines with the same
+    harness).
+    """
+    try:
+        return replace(DEFAULT_CONFIG, fast_path=fast_path)
+    except TypeError:
+        return DEFAULT_CONFIG
+
+
+@dataclass
+class CellResult:
+    """One (workload, seed) measurement."""
+
+    suite: str
+    workload: str
+    seed: int
+    events: int
+    elided: int
+    seconds: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def us_per_event(self) -> float:
+        return self.seconds * 1e6 / self.events if self.events else 0.0
+
+
+def bench_cell(workload, seed: int, config: IGuardConfig, repeats: int = 1) -> CellResult:
+    """Time one workload/seed run under a fresh detector.
+
+    ``repeats`` > 1 re-runs the cell and keeps the fastest wall time (the
+    standard way to suppress scheduler noise); events are identical
+    across repeats because the seed pins the interleaving.
+    """
+    best: Optional[float] = None
+    events = elided = 0
+    for _ in range(max(1, repeats)):
+        device = Device(SIM_GPU)
+        tool = device.add_tool(IGuard(config=config))
+        started = time.perf_counter()
+        try:
+            workload.run(device, seed)
+        except (DeadlockError, TimeoutError_):
+            pass  # legitimate racy outcomes; the cell's events still count
+        elapsed = time.perf_counter() - started
+        events = sum(
+            s.accesses_checked + s.accesses_coalesced for s in tool.stats
+        )
+        elided = sum(getattr(s, "accesses_elided", 0) for s in tool.stats)
+        best = elapsed if best is None else min(best, elapsed)
+    return CellResult(
+        suite=workload.suite,
+        workload=workload.name,
+        seed=seed,
+        events=events,
+        elided=elided,
+        seconds=best or 0.0,
+    )
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of ``values`` (fraction in [0, 1])."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (position - lo)
+
+
+def summarize(cells: Iterable[CellResult]) -> dict:
+    """Aggregate cells into per-suite and overall metrics."""
+    cells = list(cells)
+    suites: Dict[str, dict] = {}
+    for cell in cells:
+        suite = suites.setdefault(
+            cell.suite, {"events": 0, "seconds": 0.0, "elided": 0}
+        )
+        suite["events"] += cell.events
+        suite["seconds"] += cell.seconds
+        suite["elided"] += cell.elided
+    for suite in suites.values():
+        suite["events_per_sec"] = round(
+            suite["events"] / suite["seconds"] if suite["seconds"] else 0.0, 1
+        )
+        suite["seconds"] = round(suite["seconds"], 4)
+        suite["elision_rate"] = round(
+            suite.pop("elided") / suite["events"] if suite["events"] else 0.0, 4
+        )
+    events = sum(c.events for c in cells)
+    seconds = sum(c.seconds for c in cells)
+    elided = sum(c.elided for c in cells)
+    costs = [c.us_per_event for c in cells if c.events]
+    return {
+        "cells": len(cells),
+        "events": events,
+        "seconds": round(seconds, 4),
+        "events_per_sec": round(events / seconds if seconds else 0.0, 1),
+        "p50_us_per_event": round(_percentile(costs, 0.50), 4),
+        "p95_us_per_event": round(_percentile(costs, 0.95), 4),
+        "elision_rate": round(elided / events if events else 0.0, 4),
+        "suites": suites,
+    }
+
+
+def run_mode(
+    workloads, fast_path: bool, repeats: int = 1, seeds_limit: Optional[int] = None
+) -> dict:
+    """Measure every (workload, seed) cell of the basket in one mode."""
+    config = _detector_config(fast_path)
+    cells = []
+    for workload in workloads:
+        seeds = workload.seeds[:seeds_limit] if seeds_limit else workload.seeds
+        for seed in seeds:
+            cells.append(bench_cell(workload, seed, config, repeats=repeats))
+    return summarize(cells)
+
+
+# ---------------------------------------------------------------------------
+# Replay equivalence: fast path on vs off must be bit-identical.
+# ---------------------------------------------------------------------------
+
+
+def _result_fingerprint(result) -> dict:
+    """The detection output that must be invariant under the fast path."""
+    return {
+        "status": result.status,
+        "races": result.races,
+        "race_types": sorted(str(t) for t in result.race_types),
+        "race_sites": list(result.race_sites),
+        "native_time": result.native_time,
+        "total_time": result.total_time,
+        "breakdown": result.breakdown,
+    }
+
+
+def equivalence_check(workloads) -> dict:
+    """Replay each workload's trace under fast-path-on and -off detectors.
+
+    Returns ``{"checked": N, "identical": bool, "mismatches": [...]}``.
+    Races, race types and the Figure 13 cycle breakdowns must be exactly
+    equal — the fast path may only change wall-clock time.
+    """
+    from repro.engine.replay import capture_workload, replay_workload
+
+    mismatches: List[str] = []
+    for workload in workloads:
+        trace = capture_workload(workload)
+        fast = replay_workload(
+            trace, lambda: IGuard(config=_detector_config(True)), workload.name
+        )
+        slow = replay_workload(
+            trace, lambda: IGuard(config=_detector_config(False)), workload.name
+        )
+        if _result_fingerprint(fast) != _result_fingerprint(slow):
+            mismatches.append(workload.name)
+    return {
+        "checked": len(list(workloads)),
+        "identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def basket(smoke: bool = False):
+    """The measured workloads: the Table 4 racy basket (or its smoke cut)."""
+    workloads = racy_workloads()
+    if smoke:
+        workloads = [w for w in workloads if w.name in SMOKE_BASKET]
+    return workloads
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench",
+        description="Wall-clock events/sec benchmark over the table4 basket.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small basket for CI ({', '.join(SMOKE_BASKET)})",
+    )
+    parser.add_argument(
+        "--modes", default="fast,slow",
+        help="comma-separated fast-path modes to measure (fast, slow)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per cell, fastest kept (default 1)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="limit each workload to its first N pinned seeds",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the results JSON here (default: stdout only)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline JSON; exit 2 on a >30%% "
+             "events/sec regression",
+    )
+    parser.add_argument(
+        "--embed-baseline", default=None, metavar="PATH",
+        help="embed a previously measured baseline JSON under "
+             "'pre_pr_baseline' and report the speedup against it",
+    )
+    parser.add_argument(
+        "--no-equivalence", action="store_true",
+        help="skip the fast-vs-slow replay equivalence check",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = basket(smoke=args.smoke)
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    unknown = [m for m in modes if m not in ("fast", "slow")]
+    if unknown:
+        parser.error(f"unknown mode(s): {', '.join(unknown)}")
+
+    result = {
+        "schema": 1,
+        "harness": "repro.experiments.bench",
+        "basket": "table4-racy-smoke" if args.smoke else "table4-racy",
+        "workloads": [w.name for w in workloads],
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "modes": {},
+    }
+    for mode in modes:
+        started = time.perf_counter()
+        summary = run_mode(
+            workloads,
+            fast_path=(mode == "fast"),
+            repeats=args.repeats,
+            seeds_limit=args.seeds,
+        )
+        summary["wall_seconds"] = round(time.perf_counter() - started, 2)
+        result["modes"][mode] = summary
+        print(
+            f"[{mode}] {summary['events']} events in {summary['seconds']}s "
+            f"-> {summary['events_per_sec']:.0f} events/sec "
+            f"(p50 {summary['p50_us_per_event']}us, "
+            f"p95 {summary['p95_us_per_event']}us, "
+            f"elision {summary['elision_rate']:.1%})"
+        )
+    if "fast" in result["modes"] and "slow" in result["modes"]:
+        slow = result["modes"]["slow"]["events_per_sec"]
+        fast = result["modes"]["fast"]["events_per_sec"]
+        result["fast_over_slow"] = round(fast / slow, 2) if slow else None
+        print(f"fast path speedup over fast-path-off: {result['fast_over_slow']}x")
+
+    if not args.no_equivalence:
+        result["equivalence"] = equivalence_check(workloads)
+        status = "identical" if result["equivalence"]["identical"] else "MISMATCH"
+        print(f"replay equivalence (fast vs slow): {status}")
+
+    if args.embed_baseline:
+        with open(args.embed_baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        result["pre_pr_baseline"] = baseline
+        base_eps = _headline_events_per_sec(baseline)
+        new_eps = _headline_events_per_sec(result)
+        if base_eps:
+            result["speedup_vs_pre_pr"] = round(new_eps / base_eps, 2)
+            print(f"speedup vs pre-PR baseline: {result['speedup_vs_pre_pr']}x")
+
+    exit_code = 0
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        base_eps = _headline_events_per_sec(baseline)
+        new_eps = _headline_events_per_sec(result)
+        floor = (1.0 - REGRESSION_TOLERANCE) * base_eps
+        result["check"] = {
+            "baseline_events_per_sec": base_eps,
+            "measured_events_per_sec": new_eps,
+            "floor": round(floor, 1),
+            "passed": new_eps >= floor,
+        }
+        if new_eps < floor:
+            print(
+                f"REGRESSION: {new_eps:.0f} events/sec is below the "
+                f"{floor:.0f} floor ({base_eps:.0f} baseline - 30%)",
+                file=sys.stderr,
+            )
+            exit_code = 2
+        else:
+            print(
+                f"regression check passed: {new_eps:.0f} >= {floor:.0f} "
+                f"events/sec floor"
+            )
+    if not result.get("equivalence", {}).get("identical", True):
+        print("EQUIVALENCE FAILURE: fast path changed detection output",
+              file=sys.stderr)
+        exit_code = 3
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return exit_code
+
+
+def _headline_events_per_sec(result: dict) -> float:
+    """The headline metric of a results JSON: the fast mode's events/sec
+    (falling back to whichever single mode was measured)."""
+    modes = result.get("modes", {})
+    for name in ("fast", "slow"):
+        if name in modes:
+            return float(modes[name].get("events_per_sec", 0.0))
+    return 0.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

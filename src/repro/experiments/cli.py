@@ -34,6 +34,16 @@ def main(argv=None) -> int:
         help="worker processes for experiments whose suite executor "
              "supports parallel fan-out (default: 1)",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        default=None,
+        type=int,
+        metavar="N",
+        help="run under cProfile and print the top N functions by "
+             "cumulative time after each experiment (default N: 25)",
+    )
     args = parser.parse_args(argv)
     names = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -42,12 +52,29 @@ def main(argv=None) -> int:
     for name in names:
         module = ALL_EXPERIMENTS[name]
         started = time.time()
-        # Experiment mains grew an argv parameter as they gained flags;
-        # the rest keep their zero-argument signature.
-        if "argv" in inspect.signature(module.main).parameters:
-            module.main(["--workers", str(args.workers)])
+
+        def run_experiment(module=module):
+            # Experiment mains grew an argv parameter as they gained
+            # flags; the rest keep their zero-argument signature.
+            if "argv" in inspect.signature(module.main).parameters:
+                module.main(["--workers", str(args.workers)])
+            else:
+                module.main()
+
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            run_experiment()
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative")
+            print(f"\n--- cProfile: {name} (top {args.profile}) ---")
+            stats.print_stats(args.profile)
         else:
-            module.main()
+            run_experiment()
         print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
     return 0
 

@@ -50,7 +50,7 @@ class SyncKind(enum.Enum):
     FENCE = "fence"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryEvent:
     """One dynamic load/store/atomic by one thread.
 
@@ -92,7 +92,7 @@ class MemoryEvent:
         return self.kind.is_write
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncEvent:
     """One dynamic synchronization operation by one thread."""
 
@@ -104,7 +104,7 @@ class SyncEvent:
     batch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AllocEvent:
     """One application ``cudaMalloc``, as a serializable stream record.
 
@@ -127,7 +127,7 @@ class AllocEvent:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LaunchEvent:
     """The header of one kernel launch in the event stream.
 
@@ -149,7 +149,7 @@ class LaunchEvent:
     parallelism: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KernelEndEvent:
     """Kernel completion: the stream's counterpart of a finished launch.
 

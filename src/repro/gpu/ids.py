@@ -9,7 +9,9 @@ by dividing the warp ID by the number of warps per threadblock (section
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Tuple
 
 from repro.errors import LaunchError
 
@@ -41,7 +43,7 @@ class Dim3:
         return cls(*value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadLocation:
     """Everything about where a thread sits in the launch hierarchy.
 
@@ -54,6 +56,9 @@ class ThreadLocation:
         lane: thread index within its warp, 0..warp_size-1 (the metadata's
             5-bit ``ThreadID``).
         warp_in_block: warp index within the threadblock.
+        thread_key: the pooled ``(warp_id, lane)`` identity tuple — built
+            once per location so hot detector paths reuse it instead of
+            allocating a fresh tuple per event.
     """
 
     global_tid: int
@@ -62,10 +67,20 @@ class ThreadLocation:
     warp_id: int
     lane: int
     warp_in_block: int
+    thread_key: Tuple[int, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "thread_key", (self.warp_id, self.lane))
 
 
+@lru_cache(maxsize=1 << 17)
 def locate(global_tid: int, threads_per_block: int, warp_size: int) -> ThreadLocation:
-    """Compute a thread's :class:`ThreadLocation` from its linear index."""
+    """Compute a thread's :class:`ThreadLocation` from its linear index.
+
+    Memoized: locations are immutable and launch geometry repeats across
+    kernels and seeds, so the same object is reused instead of redoing the
+    divmod arithmetic per launch.
+    """
     block_id, tid_in_block = divmod(global_tid, threads_per_block)
     warps_per_block = warps_in_block(threads_per_block, warp_size)
     warp_in_block, lane = divmod(tid_in_block, warp_size)
@@ -80,17 +95,21 @@ def locate(global_tid: int, threads_per_block: int, warp_size: int) -> ThreadLoc
     )
 
 
+@lru_cache(maxsize=4096)
 def warps_in_block(threads_per_block: int, warp_size: int) -> int:
     """Number of (possibly partial) warps a threadblock occupies."""
     return (threads_per_block + warp_size - 1) // warp_size
 
 
+@lru_cache(maxsize=1 << 16)
 def block_of_warp(warp_id: int, warps_per_block: int) -> int:
     """The threadblock a global warp ID belongs to.
 
     This is precisely the derivation iGUARD performs during metadata update:
     "It then calculates the threadblock ID of the last accessor by dividing
     the WarpID in the metadata by the number of warps per threadblock"
-    (section 6.2).
+    (section 6.2).  Memoized: the division recurs once per access during
+    metadata update (the per-launch divisor is fixed), so the hot helpers
+    answer from cache instead of dividing per access.
     """
     return warp_id // warps_per_block

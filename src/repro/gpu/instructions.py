@@ -61,14 +61,14 @@ class Instruction:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class Load(Instruction):
     """Read 4 bytes of global memory; the yield evaluates to the value."""
 
     address: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Store(Instruction):
     """Write 4 bytes of global memory."""
 
@@ -76,7 +76,7 @@ class Store(Instruction):
     value: object
 
 
-@dataclass
+@dataclass(slots=True)
 class Atomic(Instruction):
     """A scoped read-modify-write; the yield evaluates to the *old* value.
 
@@ -90,7 +90,7 @@ class Atomic(Instruction):
     compare: Optional[object] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Fence(Instruction):
     """A scoped ``__threadfence``.
 
@@ -101,7 +101,7 @@ class Fence(Instruction):
     scope: Scope = Scope.DEVICE
 
 
-@dataclass
+@dataclass(slots=True)
 class Syncthreads(Instruction):
     """The threadblock barrier ``__syncthreads()``.
 
@@ -110,7 +110,7 @@ class Syncthreads(Instruction):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class Syncwarp(Instruction):
     """The warp barrier ``__syncwarp(mask)``.
 
@@ -121,7 +121,7 @@ class Syncwarp(Instruction):
     mask: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute(Instruction):
     """Pure arithmetic work: consumes ``cycles`` in the cost model.
 

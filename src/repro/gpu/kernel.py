@@ -19,6 +19,9 @@ from repro.errors import KernelSourceError
 from repro.gpu.ids import ThreadLocation
 from repro.gpu.instructions import Instruction
 
+#: Shared ip strings, keyed by (code name, line): one object per site.
+_IP_POOL: dict = {}
+
 
 class ThreadCtx:
     """Per-thread view of the launch: the CUDA built-in variables.
@@ -156,7 +159,15 @@ class KernelThread:
         if frame is None:  # pragma: no cover - only after StopIteration
             return f"{self.kernel_name}:end"
         name = gen.gi_code.co_name
-        return f"{name}:{frame.f_lineno}"
+        lineno = frame.f_lineno
+        # Pool the ip string: every thread suspended at one source line
+        # shares one object, so the scheduler's convergence-group keys
+        # hash and compare by identity instead of re-comparing characters.
+        key = (name, lineno)
+        ip = _IP_POOL.get(key)
+        if ip is None:
+            ip = _IP_POOL[key] = f"{name}:{lineno}"
+        return ip
 
     def _advance(self, value, first: bool = False) -> None:
         """Run the generator until its next yield (or completion)."""

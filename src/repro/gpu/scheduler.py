@@ -73,6 +73,19 @@ class _WarpState:
         self.block_id = block_id
         self.threads: List[KernelThread] = []
 
+    def has_ready(self) -> bool:
+        """Whether any thread of the warp is READY (cheap candidate test).
+
+        ``ready_groups`` is nonempty exactly when this is true, but this
+        scan allocates nothing — the scheduler uses it to shortlist
+        candidate warps and only builds the group structure for the one
+        warp it actually picks.
+        """
+        for thread in self.threads:
+            if thread.status is ThreadStatus.READY:
+                return True
+        return False
+
     def ready_groups(self) -> List[List[KernelThread]]:
         """Convergence groups of READY threads, in (line, kind) order."""
         groups: Dict[Tuple[str, str], List[KernelThread]] = {}
@@ -130,6 +143,11 @@ class Scheduler:
         self.timed_out = False
         self._warps: List[_WarpState] = []
         self._blocks: Dict[int, List[KernelThread]] = {}
+        self._all_threads: List[KernelThread] = list(threads)
+        #: Completion scan hint: threads before this index are done.  A
+        #: done thread never resumes, so the prefix only grows and the
+        #: per-batch completion check amortizes to O(1).
+        self._done_prefix = 0
         warp_map: Dict[int, _WarpState] = {}
         for thread in threads:
             loc = thread.ctx.location
@@ -148,22 +166,26 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _pick_batch(self) -> Optional[Tuple[_WarpState, List[KernelThread]]]:
-        """Choose the next convergence group to execute, or None."""
-        candidates: List[Tuple[_WarpState, List[List[KernelThread]]]] = []
-        for warp in self._warps:
-            groups = warp.ready_groups()
-            if groups:
-                candidates.append((warp, groups))
+        """Choose the next convergence group to execute, or None.
+
+        Candidate warps are shortlisted with the allocation-free
+        ``has_ready`` test; the group structure is built only for the one
+        warp selected.  The warp choice draws on the candidate *count*,
+        which is identical either way, so the RNG stream — and therefore
+        every simulated interleaving — is unchanged by the shortcut.
+        """
+        candidates = [warp for warp in self._warps if warp.has_ready()]
         if not candidates:
             return None
         if self.kind is SchedulerKind.LOCKSTEP:
             # Round-robin across warps; within a warp, run the group that is
             # "furthest behind" (lowest source line), approximating the SIMT
             # reconvergence stack.
-            warp, groups = candidates[self.batch_counter % len(candidates)]
-            return warp, groups[0]
+            warp = candidates[self.batch_counter % len(candidates)]
+            return warp, warp.ready_groups()[0]
         # ITS: independent progress — pick a warp and a group at random.
-        warp, groups = candidates[self.rng.randint(len(candidates))]
+        warp = candidates[self.rng.randint(len(candidates))]
+        groups = warp.ready_groups()
         group = groups[self.rng.randint(len(groups))]
         if len(group) > 1 and self.rng.random() < self.split_probability:
             # Execute only a random prefix-free subset: the rest of the
@@ -202,7 +224,14 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _all_done(self) -> bool:
-        return all(t.done for warp in self._warps for t in warp.threads)
+        threads = self._all_threads
+        total = len(threads)
+        index = self._done_prefix
+        done = ThreadStatus.DONE
+        while index < total and threads[index].status is done:
+            index += 1
+        self._done_prefix = index
+        return index == total
 
     def _check_deadlock(self) -> None:
         """No READY threads, no releasable barrier, work remains: deadlock.

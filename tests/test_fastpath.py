@@ -1,0 +1,119 @@
+"""The same-epoch fast path: bit-identical output, observable elision.
+
+The fast path (``IGuardConfig.fast_path``) may only change the
+reproduction's wall-clock time.  These tests replay recorded traces — the
+exact same event stream — through fast-path-on and fast-path-off
+detectors and assert equality of everything a detector reports: races,
+race types, race sites, and the full Figure 13 cycle breakdown.
+"""
+
+import pytest
+
+from repro.core import IGuard
+from repro.core.config import DEFAULT_CONFIG, IGuardConfig
+from repro.engine.replay import capture_workload, replay_workload
+from repro.gpu.instructions import atomic_add, atomic_load, load, store
+from repro.workloads.registry import get_workload
+
+from tests.conftest import fresh_device
+
+#: At least 3 racy and 3 race-free workloads, per the PR's test matrix.
+RACY = ("matrix-mult", "reduction", "graph-color", "reduceMB")
+RACE_FREE = ("warpAA", "b_reduce", "b_scan")
+
+
+def _fingerprint(result):
+    """Everything that must be invariant under the fast path."""
+    return (
+        result.status,
+        result.races,
+        sorted(str(t) for t in result.race_types),
+        list(result.race_sites),
+        result.native_time,
+        result.total_time,
+        result.breakdown,
+    )
+
+
+@pytest.mark.parametrize("name", RACY + RACE_FREE)
+def test_replay_equality_fast_vs_slow(name):
+    workload = get_workload(name)
+    trace = capture_workload(workload, seeds=workload.seeds[:2])
+    fast = replay_workload(
+        trace, lambda: IGuard(config=IGuardConfig(fast_path=True)), name
+    )
+    slow = replay_workload(
+        trace, lambda: IGuard(config=IGuardConfig(fast_path=False)), name
+    )
+    assert _fingerprint(fast) == _fingerprint(slow)
+
+
+@pytest.mark.parametrize("name", RACY)
+def test_racy_workloads_still_report_expected_races(name):
+    workload = get_workload(name)
+    trace = capture_workload(workload, seeds=workload.seeds[:2])
+    fast = replay_workload(
+        trace, lambda: IGuard(config=IGuardConfig(fast_path=True)), name
+    )
+    assert fast.races > 0
+
+
+class TestElisionMechanics:
+    """Direct unit coverage of the elision cache itself."""
+
+    def _spin_kernel(self):
+        # tid 0 bumps a flag; everyone else re-reads one granule in a
+        # loop with no intervening synchronization — prime elision bait.
+        def kern(ctx, flag, out):
+            if ctx.tid == 0:
+                yield store(out, 0, 7)
+                yield atomic_add(flag, 0, 1)
+            else:
+                for _ in range(8):
+                    v = yield atomic_load(flag, 0)
+                yield store(out, 1 + ctx.tid, v)
+
+        return kern
+
+    def _run(self, config):
+        dev = fresh_device()
+        det = dev.add_tool(IGuard(config=config))
+        flag = dev.alloc("flag", 1, init=0)
+        out = dev.alloc("out", 40, init=0)
+        dev.launch(
+            self._spin_kernel(), 1, 8, args=(flag, out), seed=3,
+            split_probability=0.0,
+        )
+        return det
+
+    def test_fast_path_elides_spin_reaccesses(self):
+        det = self._run(IGuardConfig(fast_path=True))
+        assert det.stats[0].accesses_elided > 0
+        assert det.stats[0].accesses_elided <= det.stats[0].accesses_checked
+
+    def test_fast_path_off_never_elides(self):
+        det = self._run(IGuardConfig(fast_path=False))
+        assert det.stats[0].accesses_elided == 0
+
+    def test_history_ablation_disables_fast_path(self):
+        det = self._run(IGuardConfig(fast_path=True, accessor_history=2))
+        assert det.stats[0].accesses_elided == 0
+
+    def test_stats_otherwise_identical(self):
+        fast = self._run(IGuardConfig(fast_path=True)).stats[0]
+        slow = self._run(IGuardConfig(fast_path=False)).stats[0]
+        assert fast.accesses_checked == slow.accesses_checked
+        assert fast.accesses_coalesced == slow.accesses_coalesced
+        assert fast.preliminary_pass == slow.preliminary_pass
+        assert fast.races_reported == slow.races_reported
+
+    def test_default_config_enables_fast_path(self):
+        assert DEFAULT_CONFIG.fast_path is True
+
+
+class TestDefaultArgumentHygiene:
+    def test_cost_objects_not_shared_between_detectors(self):
+        a, b = IGuard(), IGuard()
+        assert a.costs is not b.costs
+        assert a.contention_params is not b.contention_params
+        assert a.uvm_params is not b.uvm_params
