@@ -1,0 +1,108 @@
+"""Validate an observability artifact against its checked-in JSON schema.
+
+A deliberately small, stdlib-only validator covering the subset of JSON
+Schema the artifacts in ``benchmarks/schemas/`` use: ``type`` (including
+type lists), ``const``, ``enum``, ``required``, ``properties``,
+``additionalProperties`` (schema form), and ``items``.  CI runs it so a
+refactor cannot silently change the ``--metrics-out``/``--trace-out``
+formats that downstream tooling (Perfetto, dashboards) consumes.
+
+Usage::
+
+    python benchmarks/validate_schema.py benchmarks/schemas/trace.schema.json trace.json
+
+Importable too: :func:`validate` returns a list of human-readable error
+strings (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, List
+
+#: JSON Schema scalar type name -> accepted Python types.
+_TYPES = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "integer": (int,),
+    "number": (int, float),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    accepted = _TYPES[name]
+    if isinstance(value, bool) and name in ("integer", "number"):
+        return False  # bool is an int subclass but not a JSON number
+    return isinstance(value, accepted)
+
+
+def validate(instance: Any, schema: dict, path: str = "$") -> List[str]:
+    """Check ``instance`` against ``schema``; return error strings."""
+    errors: List[str] = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(instance, n) for n in names):
+            errors.append(
+                f"{path}: expected type {'/'.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structural checks below would only cascade
+
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']!r}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in properties:
+                errors.extend(validate(value, properties[key], f"{path}.{key}"))
+            elif isinstance(schema.get("additionalProperties"), dict):
+                errors.extend(
+                    validate(
+                        value, schema["additionalProperties"], f"{path}.{key}"
+                    )
+                )
+
+    if isinstance(instance, list) and isinstance(schema.get("items"), dict):
+        for index, value in enumerate(instance):
+            errors.extend(validate(value, schema["items"], f"{path}[{index}]"))
+
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) != 2:
+        print(
+            "usage: validate_schema.py <schema.json> <instance.json>",
+            file=sys.stderr,
+        )
+        return 2
+    schema_path, instance_path = argv
+    with open(schema_path, "r", encoding="utf-8") as handle:
+        schema = json.load(handle)
+    with open(instance_path, "r", encoding="utf-8") as handle:
+        instance = json.load(handle)
+    errors = validate(instance, schema)
+    if errors:
+        for error in errors:
+            print(f"INVALID {instance_path}: {error}", file=sys.stderr)
+        return 1
+    print(f"{instance_path} conforms to {schema.get('title', schema_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
 from repro.gpu.instructions import AtomicOp, Scope
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category
+from repro.obs.metrics import HOT
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,14 @@ class IGuard(Tool):
         #: replayed outcome could not reproduce.
         self._elide: Dict[int, Tuple] = {}
         self._fast_path = config.fast_path and config.accessor_history == 1
+        #: Optional forensic probe (repro.obs.forensics.ForensicProbe).
+        #: Hooks fire only when set: normal runs pay one ``is not None``
+        #: test per event.
+        self.probe = None
+        #: Ground-truth lock hashes of the last writer per granule, kept
+        #: only while metrics are enabled, to count 16-bit Bloom filter
+        #: false positives (filters intersect, true lock sets disjoint).
+        self._writer_lock_truth: Dict[int, frozenset] = {}
 
     # ------------------------------------------------------------------
     # Tool lifecycle
@@ -171,6 +180,7 @@ class IGuard(Tool):
         # entries could only cause false positives.
         self.sync = SyncMetadata(self.config.lock_table_entries)
         self._elide.clear()
+        self._writer_lock_truth.clear()
         if self.config.reset_metadata_per_kernel:
             self.table.clear()
             self._history.clear()
@@ -264,7 +274,17 @@ class IGuard(Tool):
             self.sync.on_fence(thread, event.scope)
             # A fence completes pending lock acquires (activateLocks).
             table = self.sync.lock_table_for(where.warp_id, thread)
-            table.activate(event.scope)
+            activated = table.activate(event.scope)
+            if activated:
+                if HOT.enabled:
+                    HOT.lock_activations.inc(activated)
+                if self.probe is not None:
+                    self.probe.on_lock(
+                        "fence-activate", event,
+                        f"{activated} lock(s), {event.scope.name.lower()} fence",
+                    )
+        if self.probe is not None:
+            self.probe.on_sync(event)
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -295,6 +315,8 @@ class IGuard(Tool):
             key = (event.batch, granule)
             if key == self._coalesce_key:
                 self._current.accesses_coalesced += 1
+                if HOT.enabled:
+                    HOT.detector_coalesced.inc()
                 launch.timing.charge(
                     Category.DETECTION, self.costs.coalesced_skip
                 )
@@ -317,13 +339,34 @@ class IGuard(Tool):
             # More than one thread of the warp CASing together means the
             # kernel uses per-thread locks; the isThread bit is sticky.
             if len(event.active_mask) > 1:
+                if not warp_table.is_thread and self.probe is not None:
+                    self.probe.on_lock(
+                        "infer-per-thread", event,
+                        f"{len(event.active_mask)} lanes CAS together",
+                    )
                 warp_table.is_thread = True
             table = self.sync.lock_table_for(where.warp_id, thread)
-            table.insert(event.address, event.scope)
+            inserted = table.insert(event.address, event.scope)
+            if HOT.enabled:
+                HOT.lock_inserts.inc()
+                if not inserted:
+                    HOT.lock_evictions.inc()
+            if self.probe is not None:
+                self.probe.on_lock(
+                    "cas-acquire" if inserted else "cas-overflow", event,
+                    f"lock 0x{event.address:x}, {event.scope.name.lower()} scope",
+                )
             self.sync.epoch += 1
         elif event.atomic_op is AtomicOp.EXCH:
             table = self.sync.lock_table_for(where.warp_id, thread)
-            table.release(event.address, event.scope)
+            released = table.release(event.address, event.scope)
+            if HOT.enabled and released:
+                HOT.lock_releases.inc()
+            if self.probe is not None:
+                self.probe.on_lock(
+                    "exch-release" if released else "exch-unmatched", event,
+                    f"lock 0x{event.address:x}",
+                )
             self.sync.epoch += 1
 
     # -- race detection -------------------------------------------------------
@@ -335,6 +378,8 @@ class IGuard(Tool):
         where = event.where
         thread = where.thread_key
         self._current.accesses_checked += 1
+        if HOT.enabled:
+            HOT.detector_checked.inc()
 
         # Metadata residency (UVM) and entry-lock contention, both serial.
         # These run before any elision decision: both models are stateful,
@@ -343,16 +388,25 @@ class IGuard(Tool):
         if config.use_uvm and self._uvm is not None:
             fault_cost = self._uvm.access(granule * config.metadata_entry_bytes)
             if fault_cost:
+                if HOT.enabled:
+                    HOT.detector_uvm_faults.inc()
                 launch.timing.charge(Category.DETECTION, fault_cost, serial=True)
         if self._contention is not None:
             stall = self._contention.on_metadata_access(
                 granule, event.batch, where.warp_id
             )
             if stall:
+                if HOT.enabled:
+                    HOT.contention_stalls.inc()
+                    HOT.contention_cycles.inc(stall)
                 launch.timing.charge(Category.DETECTION, stall, serial=True)
         launch.timing.charge(Category.DETECTION, self.costs.check_per_access)
 
         entry = self.table.lookup_granule(granule)
+        if self.probe is not None:
+            self.probe.on_check(
+                event, granule, entry.accessor_word, entry.writer_word
+            )
 
         # Same-epoch fast path: if this thread already ran the full check
         # against exactly these metadata words with the same access kind,
@@ -378,9 +432,18 @@ class IGuard(Tool):
                 entry.accessor_word = post_accessor
                 entry.writer_word = post_writer
                 self._current.accesses_elided += 1
+                if HOT.enabled:
+                    HOT.detector_elided.inc()
                 if label is not None:
                     counts = self._current.preliminary_pass
                     counts[label] = counts.get(label, 0) + 1
+                    if HOT.enabled:
+                        HOT.detector_prelim_pass.inc()
+                if self.probe is not None:
+                    self.probe.on_outcome(
+                        event, granule, label, None,
+                        entry.accessor_word, entry.writer_word,
+                    )
                 return
         else:
             sig = None
@@ -418,7 +481,11 @@ class IGuard(Tool):
         if passed is not None:
             counts = self._current.preliminary_pass
             counts[passed] = counts.get(passed, 0) + 1
+            if HOT.enabled:
+                HOT.detector_prelim_pass.inc()
         else:
+            if HOT.enabled:
+                HOT.detector_race_tier.inc()
             race_type = race_checks(
                 curr,
                 entry,
@@ -430,6 +497,23 @@ class IGuard(Tool):
             )
             if race_type is not None:
                 self._report(race_type, event, md, launch)
+            elif (
+                HOT.enabled
+                and config.lockset
+                and md.locks
+                and (md.locks & locks_bloom)
+            ):
+                # R5 stayed quiet because the 16-bit Bloom summaries
+                # intersect; if the underlying lock-hash sets are in fact
+                # disjoint, that intersection is a filter false positive
+                # (a missed R5 report, the aliasing cost of section 6.3).
+                truth = self._writer_lock_truth.get(granule)
+                if truth is not None and truth.isdisjoint(
+                    self.sync.lock_table_for(
+                        where.warp_id, thread
+                    ).held_hashes()
+                ):
+                    HOT.detector_bloom_fp.inc()
 
         # Section 6.7 ablation: also compare against older accessors when
         # a history depth beyond the packed entry is configured.
@@ -437,6 +521,10 @@ class IGuard(Tool):
             self._check_history(curr, entry, event, granule, launch, wpb)
 
         self._write_back(entry, tag, curr, event, thread, locks_bloom)
+        if HOT.enabled and event.is_write:
+            self._writer_lock_truth[granule] = frozenset(
+                self.sync.lock_table_for(where.warp_id, thread).held_hashes()
+            )
         if config.accessor_history > 1:
             self._record_history(granule, curr, event, thread, locks_bloom)
 
@@ -451,6 +539,12 @@ class IGuard(Tool):
                 )
             else:
                 self._elide.pop(granule, None)
+
+        if self.probe is not None:
+            self.probe.on_outcome(
+                event, granule, passed, race_type,
+                entry.accessor_word, entry.writer_word,
+            )
 
     # -- accessor-history ablation (section 6.7) -----------------------------
 
@@ -549,6 +643,10 @@ class IGuard(Tool):
             prev_warp_id=md.warp_id,
             prev_lane=md.lane,
         )
+        if HOT.enabled:
+            HOT.detector_races.inc()
+        if self.probe is not None:
+            self.probe.on_race(record, md)
         if self.races.report(record):
             self._current.races_reported += 1
 

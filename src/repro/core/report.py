@@ -26,6 +26,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
+from repro.obs.metrics import HOT
+
 
 class RaceType(enum.Enum):
     """Race classification, tagged as in Table 4."""
@@ -73,18 +75,40 @@ class RaceBuffer:
     When the buffer fills, its contents are "sent to the CPU" — drained
     into :attr:`reported` — exactly as the real tool does without stopping
     execution.  ``flushes`` counts those CPU round-trips.
+
+    ``max_records`` optionally bounds the *total* retained records
+    (pending plus reported), modeling a host side that stops accepting
+    flushes — e.g. a pathological workload producing millions of dynamic
+    occurrences.  Overflowing pushes are counted in :attr:`dropped`
+    instead of silently discarded; ``None`` (the default) keeps the
+    historical unbounded behaviour.
     """
 
     capacity: int
+    max_records: Optional[int] = None
     pending: List[RaceRecord] = field(default_factory=list)
     reported: List[RaceRecord] = field(default_factory=list)
     flushes: int = 0
+    dropped: int = 0
 
-    def push(self, record: RaceRecord) -> None:
-        """Append a record, flushing to the host if the buffer is full."""
+    def push(self, record: RaceRecord) -> bool:
+        """Append a record, flushing to the host if the buffer is full.
+
+        Returns False (and counts the record as dropped) when the
+        ``max_records`` cap is already reached.
+        """
+        if (
+            self.max_records is not None
+            and len(self.pending) + len(self.reported) >= self.max_records
+        ):
+            self.dropped += 1
+            if HOT.enabled:
+                HOT.races_dropped.inc()
+            return False
         self.pending.append(record)
         if len(self.pending) >= self.capacity:
             self.flush()
+        return True
 
     def flush(self) -> None:
         """Ship pending records to the host side."""
@@ -92,6 +116,8 @@ class RaceBuffer:
             self.reported.extend(self.pending)
             self.pending.clear()
             self.flushes += 1
+            if HOT.enabled:
+                HOT.race_flushes.inc()
 
     def all_records(self) -> List[RaceRecord]:
         """Reported plus still-buffered records."""
@@ -106,19 +132,30 @@ class RaceLog:
     The dedup key is the reporting instruction's source location.
     """
 
-    def __init__(self, capacity: int):
-        self.buffer = RaceBuffer(capacity=capacity)
+    def __init__(self, capacity: int, max_records: Optional[int] = None):
+        self.buffer = RaceBuffer(capacity=capacity, max_records=max_records)
         self._seen_sites: Set[str] = set()
         self._site_types: dict = {}
 
     def report(self, record: RaceRecord) -> bool:
-        """Add a dynamic race; returns True if the *site* is new."""
+        """Add a dynamic race; returns True if the *site* is new.
+
+        Site dedup is deliberately independent of whether the dynamic
+        record fit in the buffer: a record dropped at the ``max_records``
+        cap still registers its site and race type, so the paper's static
+        race count (and the per-site type) never depends on buffer sizing.
+        """
         self.buffer.push(record)
         if record.ip in self._seen_sites:
             return False
         self._seen_sites.add(record.ip)
         self._site_types[record.ip] = record.race_type
         return True
+
+    @property
+    def dropped(self) -> int:
+        """Dynamic records dropped at the buffer's ``max_records`` cap."""
+        return self.buffer.dropped
 
     @property
     def num_sites(self) -> int:

@@ -5,33 +5,191 @@ picklable tasks.  ``chunksize=1`` keeps scheduling granular (workload ×
 seed cells vary wildly in cost) and the returned list is in input order,
 so callers merge results deterministically — the parallel path produces
 byte-identical merged output to the serial one.
+
+Observability rides the map without changing its contract:
+
+- every task is wrapped in a picklable :class:`_InstrumentedCall` that
+  snapshots the worker's metrics registry delta and drains its span
+  tracer per cell, so ``--metrics-out``/``--trace-out`` aggregate across
+  ``--workers N`` exactly like a serial run;
+- results are consumed incrementally with a **soft timeout**: a cell
+  that produces nothing for ``soft_timeout`` seconds triggers a
+  structured stall warning (naming the cell) instead of a silent hang,
+  and a periodic heartbeat logs ``k/n`` progress on long runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Sequence, TypeVar
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.metrics import HOT
+from repro.obs.spans import TRACER, now_us
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Seconds a cell may stay silent before a stall warning is logged.
+DEFAULT_SOFT_TIMEOUT = 120.0
+#: Seconds between progress heartbeats on multi-cell runs.
+HEARTBEAT_INTERVAL = 10.0
 
-def parallel_map(fn: Callable[[T], R], items: Sequence[T], workers: int) -> List[R]:
+
+@dataclass
+class _CellResult:
+    """One task's value plus the worker-side observability payload."""
+
+    value: Any
+    pid: int
+    start_us: float
+    seconds: float
+    spans: List[dict] = field(default_factory=list)
+    metrics: Optional[dict] = None
+
+
+class _InstrumentedCall:
+    """Picklable wrapper executing one task inside a worker process.
+
+    The worker inherits the parent's enabled flags (fork) or re-reads the
+    ``IGUARD_METRICS``/``IGUARD_TRACE`` environment (spawn).  Each call
+    starts from a clean slate — the inherited registry contents and any
+    inherited tracer events are discarded — so the returned snapshot is
+    exactly this cell's delta and the parent can merge deltas from all
+    workers without double counting.
+    """
+
+    def __init__(self, fn: Callable, label: Callable[[Any], str] = str):
+        self.fn = fn
+        self.label = label
+
+    def __call__(self, item):
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            registry.reset()
+        if TRACER.enabled:
+            TRACER.drain()
+        start_us = now_us()
+        start = perf_counter()
+        value = self.fn(item)
+        seconds = perf_counter() - start
+        result = _CellResult(
+            value=value,
+            pid=os.getpid(),
+            start_us=start_us,
+            seconds=seconds,
+        )
+        if TRACER.enabled:
+            TRACER.add_complete(
+                f"cell:{self.label(item)}",
+                start_us,
+                seconds * 1e6,
+                cat="cell",
+                tid=0,
+            )
+            result.spans = TRACER.drain()
+        if registry.enabled:
+            result.metrics = registry.snapshot()
+        return result
+
+
+def _absorb(result: _CellResult) -> Any:
+    """Fold one worker cell's observability payload into this process."""
+    if HOT.enabled:
+        HOT.parallel_cells.inc()
+        HOT.parallel_cell_seconds.observe(result.seconds)
+        registry = obs_metrics.get_registry()
+        if result.metrics:
+            registry.merge_snapshot(result.metrics)
+        registry.counter(f"parallel.worker.{result.pid}.cells").inc()
+        registry.counter(f"parallel.worker.{result.pid}.seconds").inc(
+            result.seconds
+        )
+    if TRACER.enabled and result.spans:
+        TRACER.name_process(result.pid, f"worker {result.pid}")
+        TRACER.absorb(result.spans)
+    return result.value
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int,
+    soft_timeout: float = DEFAULT_SOFT_TIMEOUT,
+    label: Callable[[Any], str] = str,
+) -> List[R]:
     """Map ``fn`` over ``items`` using up to ``workers`` processes.
 
     Falls back to an inline loop when parallelism cannot help (one worker
     or at most one item).  Prefers the ``fork`` start method (cheap, no
     re-import) and uses ``spawn`` where fork is unavailable; either way
     ``fn`` and each item must be picklable module-level objects.
+
+    ``soft_timeout`` bounds how long a single cell may stay silent before
+    a stall warning names it (the run keeps waiting — the timeout is
+    diagnostic, not a kill); ``label`` renders an item for log lines and
+    cell span names.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        # Inline: no worker process, so no registry reset/merge — the
+        # parent registry accumulates directly; only timing is added.
+        results = []
+        for item in items:
+            if not (HOT.enabled or TRACER.enabled):
+                results.append(fn(item))
+                continue
+            start_us = now_us()
+            start = perf_counter()
+            value = fn(item)
+            seconds = perf_counter() - start
+            if HOT.enabled:
+                HOT.parallel_cells.inc()
+                HOT.parallel_cell_seconds.observe(seconds)
+            if TRACER.enabled:
+                TRACER.add_complete(
+                    f"cell:{label(item)}", start_us, seconds * 1e6,
+                    cat="cell", tid=0,
+                )
+            results.append(value)
+        return results
+    logger = get_logger("parallel")
     method = (
         "fork"
         if "fork" in multiprocessing.get_all_start_methods()
         else "spawn"
     )
     ctx = multiprocessing.get_context(method)
-    with ctx.Pool(processes=min(workers, len(items))) as pool:
-        return pool.map(fn, items, chunksize=1)
+    call = _InstrumentedCall(fn, label)
+    results: List[R] = []
+    num_items = len(items)
+    with ctx.Pool(processes=min(workers, num_items)) as pool:
+        iterator = pool.imap(call, items, chunksize=1)
+        last_heartbeat = perf_counter()
+        for index in range(num_items):
+            stalled_for = 0.0
+            while True:
+                try:
+                    wrapped = iterator.next(timeout=soft_timeout)
+                    break
+                except multiprocessing.TimeoutError:
+                    stalled_for += soft_timeout
+                    if HOT.enabled:
+                        HOT.parallel_soft_timeouts.inc()
+                    logger.warning(
+                        "cell %d/%d (%s) has produced no result for %.0fs "
+                        "— still waiting (soft timeout, not killed)",
+                        index + 1, num_items, label(items[index]), stalled_for,
+                    )
+            results.append(_absorb(wrapped))
+            now = perf_counter()
+            if now - last_heartbeat >= HEARTBEAT_INTERVAL:
+                last_heartbeat = now
+                logger.info(
+                    "progress: %d/%d cells complete", index + 1, num_items
+                )
+    return results

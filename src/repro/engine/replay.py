@@ -43,6 +43,7 @@ from repro.gpu.events import (
 from repro.gpu.memory import WORD_BYTES, Allocation, GlobalMemory
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category, TimingBreakdown
+from repro.obs.metrics import HOT
 from repro.workloads.base import SIM_GPU, Workload, WorkloadResult
 
 
@@ -122,6 +123,8 @@ def replay(
     for event in events:
         if isinstance(event, (GPUConfig, RunMarker)):
             continue
+        if HOT.enabled:
+            HOT.replay_events.inc()
         if isinstance(event, AllocEvent):
             device.bus.publish_alloc(device.memory.restore(event))
         elif isinstance(event, LaunchEvent):

@@ -45,6 +45,13 @@ from repro.core import IGuard
 from repro.core.config import DEFAULT_CONFIG, IGuardConfig
 from repro.errors import DeadlockError, TimeoutError_
 from repro.gpu.device import Device
+from repro.obs import (
+    add_observability_args,
+    begin_observability,
+    finalize_observability,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger, output
 from repro.workloads import racy_workloads
 from repro.workloads.base import SIM_GPU
 
@@ -230,6 +237,42 @@ def equivalence_check(workloads) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Observability overhead: what does the flight recorder itself cost?
+# ---------------------------------------------------------------------------
+
+
+def measure_obs_overhead(workloads, repeats: int = 1, seeds_limit: int = 1) -> dict:
+    """Measure the metrics instrumentation's own wall-clock cost.
+
+    Runs the fast-path basket twice — once with the metrics registry
+    disabled and once enabled — over one seed per workload, and reports
+    the events/sec of each plus the overhead as a separate percentage.
+    Restores the registry's enabled state afterwards.
+    """
+    was_enabled = obs_metrics.metrics_enabled()
+    try:
+        obs_metrics.set_enabled(False)
+        disabled = run_mode(
+            workloads, fast_path=True, repeats=repeats, seeds_limit=seeds_limit
+        )
+        obs_metrics.set_enabled(True)
+        enabled = run_mode(
+            workloads, fast_path=True, repeats=repeats, seeds_limit=seeds_limit
+        )
+    finally:
+        obs_metrics.set_enabled(was_enabled)
+    off_eps = disabled["events_per_sec"]
+    on_eps = enabled["events_per_sec"]
+    return {
+        "disabled_events_per_sec": off_eps,
+        "enabled_events_per_sec": on_eps,
+        "overhead_pct": (
+            round((off_eps / on_eps - 1.0) * 100.0, 1) if on_eps else None
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -281,7 +324,10 @@ def main(argv=None) -> int:
         "--no-equivalence", action="store_true",
         help="skip the fast-vs-slow replay equivalence check",
     )
+    add_observability_args(parser)
     args = parser.parse_args(argv)
+    begin_observability(args)
+    logger = get_logger("bench")
 
     workloads = basket(smoke=args.smoke)
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
@@ -308,7 +354,7 @@ def main(argv=None) -> int:
         )
         summary["wall_seconds"] = round(time.perf_counter() - started, 2)
         result["modes"][mode] = summary
-        print(
+        output(
             f"[{mode}] {summary['events']} events in {summary['seconds']}s "
             f"-> {summary['events_per_sec']:.0f} events/sec "
             f"(p50 {summary['p50_us_per_event']}us, "
@@ -319,12 +365,27 @@ def main(argv=None) -> int:
         slow = result["modes"]["slow"]["events_per_sec"]
         fast = result["modes"]["fast"]["events_per_sec"]
         result["fast_over_slow"] = round(fast / slow, 2) if slow else None
-        print(f"fast path speedup over fast-path-off: {result['fast_over_slow']}x")
+        output(f"fast path speedup over fast-path-off: {result['fast_over_slow']}x")
+
+    if obs_metrics.metrics_enabled():
+        # The flight recorder's own cost, reported as a separate number so
+        # instrumented runs are never compared against uninstrumented
+        # baselines by accident.
+        result["obs_overhead"] = measure_obs_overhead(
+            workloads, repeats=args.repeats
+        )
+        overhead = result["obs_overhead"]
+        output(
+            f"observability overhead: {overhead['overhead_pct']}% "
+            f"({overhead['disabled_events_per_sec']:.0f} -> "
+            f"{overhead['enabled_events_per_sec']:.0f} events/sec "
+            f"with metrics on)"
+        )
 
     if not args.no_equivalence:
         result["equivalence"] = equivalence_check(workloads)
         status = "identical" if result["equivalence"]["identical"] else "MISMATCH"
-        print(f"replay equivalence (fast vs slow): {status}")
+        output(f"replay equivalence (fast vs slow): {status}")
 
     if args.embed_baseline:
         with open(args.embed_baseline, "r", encoding="utf-8") as handle:
@@ -334,7 +395,7 @@ def main(argv=None) -> int:
         new_eps = _headline_events_per_sec(result)
         if base_eps:
             result["speedup_vs_pre_pr"] = round(new_eps / base_eps, 2)
-            print(f"speedup vs pre-PR baseline: {result['speedup_vs_pre_pr']}x")
+            output(f"speedup vs pre-PR baseline: {result['speedup_vs_pre_pr']}x")
 
     exit_code = 0
     if args.check:
@@ -350,27 +411,26 @@ def main(argv=None) -> int:
             "passed": new_eps >= floor,
         }
         if new_eps < floor:
-            print(
-                f"REGRESSION: {new_eps:.0f} events/sec is below the "
-                f"{floor:.0f} floor ({base_eps:.0f} baseline - 30%)",
-                file=sys.stderr,
+            logger.error(
+                "REGRESSION: %.0f events/sec is below the %.0f floor "
+                "(%.0f baseline - 30%%)", new_eps, floor, base_eps,
             )
             exit_code = 2
         else:
-            print(
+            output(
                 f"regression check passed: {new_eps:.0f} >= {floor:.0f} "
                 f"events/sec floor"
             )
     if not result.get("equivalence", {}).get("identical", True):
-        print("EQUIVALENCE FAILURE: fast path changed detection output",
-              file=sys.stderr)
+        logger.error("EQUIVALENCE FAILURE: fast path changed detection output")
         exit_code = 3
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, sort_keys=False)
             handle.write("\n")
-        print(f"wrote {args.output}")
+        output(f"wrote {args.output}")
+    finalize_observability(args)
     return exit_code
 
 

@@ -3,6 +3,14 @@
 Runs the requested experiments (default: all of them) and prints the
 paper-style tables.  Available names: table1, table4, table5, figure11,
 figure12, figure13, figure14, motivation.
+
+Two non-experiment subcommands ride the same entry point:
+
+- ``iguard-experiments explain <race-site>`` — race forensics: replay a
+  recorded trace and reconstruct why a race was reported
+  (:mod:`repro.obs.forensics`);
+- the observability flags (``--log-level``, ``--metrics-out``,
+  ``--trace-out``) apply to any experiment run.
 """
 
 from __future__ import annotations
@@ -13,9 +21,24 @@ import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.obs import (
+    add_observability_args,
+    begin_observability,
+    finalize_observability,
+)
+from repro.obs.log import get_logger, output
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        # Forensics has its own argument surface; dispatch before the
+        # experiment parser can reject its options.
+        from repro.obs.forensics import main as explain_main
+
+        return explain_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="iguard-experiments",
         description="Regenerate the iGUARD paper's tables and figures.",
@@ -25,7 +48,8 @@ def main(argv=None) -> int:
         nargs="*",
         metavar="NAME",
         help=f"experiments to run (default: all); one of "
-             f"{', '.join(ALL_EXPERIMENTS)}",
+             f"{', '.join(ALL_EXPERIMENTS)}, or the 'explain' subcommand "
+             f"(see 'iguard-experiments explain --help')",
     )
     parser.add_argument(
         "--workers",
@@ -44,13 +68,17 @@ def main(argv=None) -> int:
         help="run under cProfile and print the top N functions by "
              "cumulative time after each experiment (default N: 25)",
     )
+    add_observability_args(parser)
     args = parser.parse_args(argv)
+    begin_observability(args)
+    logger = get_logger("cli")
     names = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
     for name in names:
         module = ALL_EXPERIMENTS[name]
+        logger.debug("starting experiment %s", name)
         started = time.time()
 
         def run_experiment(module=module):
@@ -71,11 +99,15 @@ def main(argv=None) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.strip_dirs().sort_stats("cumulative")
-            print(f"\n--- cProfile: {name} (top {args.profile}) ---")
+            output(f"\n--- cProfile: {name} (top {args.profile}) ---")
             stats.print_stats(args.profile)
         else:
             run_experiment()
-        print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+        # The completion line is part of the CLI's stdout contract
+        # (tests and drivers grep for it), so it stays on the result
+        # channel rather than the stderr log.
+        output(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+    finalize_observability(args)
     return 0
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.baselines import Barracuda
 from repro.core import IGuard
 from repro.experiments.reporting import fmt_overhead, render_table, title
+from repro.obs.log import output
 from repro.workloads import racefree_workloads, racy_workloads, run_suite
 
 
@@ -133,7 +134,7 @@ def main(argv=None) -> None:
         help="worker processes for the suite executor (default: 1)",
     )
     args = parser.parse_args(argv)
-    print(render(run(workers=args.workers)))
+    output(render(run(workers=args.workers)))
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from typing import List
 from repro.core import IGuard
 from repro.core.config import DEFAULT_CONFIG
 from repro.experiments.reporting import fmt_overhead, render_table, title
+from repro.obs.log import output
 from repro.workloads import REGISTRY, run_workload
 
 
@@ -82,7 +83,7 @@ def render(rows: List[Row]) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    output(render(run()))
 
 
 if __name__ == "__main__":

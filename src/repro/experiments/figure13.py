@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.core import IGuard
 from repro.experiments.reporting import render_table, title
 from repro.instrument.timing import Category
+from repro.obs.log import output
 from repro.workloads import REGISTRY, run_workload
 
 CATEGORIES = [c.value for c in Category]
@@ -67,7 +68,7 @@ def render(rows: List[SuiteBreakdown]) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    output(render(run()))
 
 
 if __name__ == "__main__":

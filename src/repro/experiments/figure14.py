@@ -25,6 +25,7 @@ from repro.experiments.reporting import fmt_overhead, render_table, title
 from repro.gpu.arch import GiB
 from repro.gpu.device import Device
 from repro.gpu.instructions import atomic_add, compute, load
+from repro.obs.log import output
 from repro.workloads.base import SIM_GPU
 
 FOOTPRINTS_GB = (1, 2, 4, 8, 16)
@@ -125,7 +126,7 @@ def render(points: List[Point]) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    output(render(run()))
 
 
 if __name__ == "__main__":

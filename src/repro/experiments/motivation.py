@@ -15,6 +15,7 @@ from repro.experiments.reporting import render_table, title
 from repro.gpu.arch import TEST_GPU
 from repro.gpu.device import Device
 from repro.gpu.instructions import Scope, fence, load, store
+from repro.obs.log import output
 
 
 def _fence_kernel(ctx, data, scope, iterations):
@@ -72,7 +73,7 @@ def render(result: Result) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    output(render(run()))
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.gpu.instructions import (
     store,
     syncwarp,
 )
+from repro.obs.log import output
 from repro.workloads.patterns import signal, wait_for
 
 FEATURES = ["Sc. fence", "Sc. atomic", "ITS", "CG"]
@@ -178,7 +179,7 @@ def render(matrix: Dict[str, Dict[str, str]]) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    output(render(run()))
 
 
 if __name__ == "__main__":

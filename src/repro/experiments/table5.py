@@ -15,6 +15,7 @@ from typing import List
 
 from repro.core import IGuard
 from repro.experiments.reporting import render_table, title
+from repro.obs.log import output
 from repro.workloads import racefree_workloads, run_suite
 
 
@@ -76,7 +77,7 @@ def main(argv=None) -> None:
         help="worker processes for the suite executor (default: 1)",
     )
     args = parser.parse_args(argv)
-    print(render(run(workers=args.workers)))
+    output(render(run(workers=args.workers)))
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from repro.gpu.memory import GlobalArray, GlobalMemory
 from repro.gpu.scheduler import Scheduler, SchedulerKind
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category, TimingBreakdown
+from repro.obs.spans import TRACER, now_us
 
 
 @dataclass
@@ -180,7 +181,24 @@ class Device:
             split_probability=split_probability,
         )
         executor = _Executor(self, launch)
+        span_start = now_us() if TRACER.enabled else 0.0
         engine.run(executor)
+        if TRACER.enabled:
+            TRACER.add_complete(
+                f"launch:{launch.kernel_name}",
+                span_start,
+                now_us() - span_start,
+                cat="launch",
+                tid=TRACER.tid_for("launches"),
+                args={
+                    "seed": seed,
+                    "grid_dim": grid_dim,
+                    "block_dim": block_dim,
+                    "batches": engine.batch_counter,
+                    "timed_out": engine.timed_out,
+                },
+            )
+            self._emit_warp_activity(launch, engine)
         self.memory.flush_all()
 
         if engine.timed_out:
@@ -201,6 +219,30 @@ class Device:
         self.runs.append(run)
         self.bus.publish_kernel_end(run, launch)
         return run
+
+    @staticmethod
+    def _emit_warp_activity(launch: LaunchInfo, engine: Scheduler) -> None:
+        """Per-warp activity spans on the synthetic "simulated time" track.
+
+        Timestamps are scheduler batch indices, not microseconds — the
+        span shows *when in the interleaving* each warp was live, which
+        is the shape races hide in.  A synthetic pid keeps these off the
+        wall-clock tracks.
+        """
+        activity = engine.span_activity
+        if not activity:
+            return
+        pid = TRACER.synthetic_pid("simulated time (batches)")
+        for warp_id, (first, last) in sorted(activity.items()):
+            TRACER.add_complete(
+                f"{launch.kernel_name} w{warp_id}",
+                float(first),
+                float(max(1, last - first)),
+                cat="warp",
+                pid=pid,
+                tid=warp_id,
+                args={"seed": launch.seed},
+            )
 
 
 class _Executor:

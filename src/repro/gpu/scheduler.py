@@ -42,6 +42,8 @@ from repro.gpu.instructions import (
     Syncwarp,
 )
 from repro.gpu.kernel import KernelThread, ThreadStatus
+from repro.obs.metrics import HOT
+from repro.obs.spans import TRACER
 
 
 class SchedulerKind(enum.Enum):
@@ -66,12 +68,16 @@ def _group_key(thread: KernelThread) -> Tuple[str, str]:
 class _WarpState:
     """Scheduler-side bookkeeping for one warp."""
 
-    __slots__ = ("warp_id", "block_id", "threads")
+    __slots__ = ("warp_id", "block_id", "threads", "diverged")
 
     def __init__(self, warp_id: int, block_id: int):
         self.warp_id = warp_id
         self.block_id = block_id
         self.threads: List[KernelThread] = []
+        #: Observability only: whether this warp's READY threads were last
+        #: seen in more than one convergence group (tracks divergence /
+        #: reconvergence transitions for the metrics registry).
+        self.diverged = False
 
     def has_ready(self) -> bool:
         """Whether any thread of the warp is READY (cheap candidate test).
@@ -148,6 +154,12 @@ class Scheduler:
         #: done thread never resumes, so the prefix only grows and the
         #: per-batch completion check amortizes to O(1).
         self._done_prefix = 0
+        #: Observability only: per-warp (first batch, last batch) activity
+        #: bounds, emitted by the device as simulated-time trace spans.
+        #: None (tracing off) keeps the batch loop free of dict traffic.
+        self.span_activity: Optional[Dict[int, Tuple[int, int]]] = (
+            {} if TRACER.enabled else None
+        )
         warp_map: Dict[int, _WarpState] = {}
         for thread in threads:
             loc = thread.ctx.location
@@ -177,15 +189,22 @@ class Scheduler:
         candidates = [warp for warp in self._warps if warp.has_ready()]
         if not candidates:
             return None
+        if HOT.enabled:
+            HOT.sched_occupancy.observe(len(candidates))
         if self.kind is SchedulerKind.LOCKSTEP:
             # Round-robin across warps; within a warp, run the group that is
             # "furthest behind" (lowest source line), approximating the SIMT
             # reconvergence stack.
             warp = candidates[self.batch_counter % len(candidates)]
-            return warp, warp.ready_groups()[0]
+            groups = warp.ready_groups()
+            if HOT.enabled:
+                self._note_convergence(warp, len(groups))
+            return warp, groups[0]
         # ITS: independent progress — pick a warp and a group at random.
         warp = candidates[self.rng.randint(len(candidates))]
         groups = warp.ready_groups()
+        if HOT.enabled:
+            self._note_convergence(warp, len(groups))
         group = groups[self.rng.randint(len(groups))]
         if len(group) > 1 and self.rng.random() < self.split_probability:
             # Execute only a random prefix-free subset: the rest of the
@@ -194,7 +213,20 @@ class Scheduler:
             shuffled = list(group)
             self.rng.shuffle(shuffled)
             group = sorted(shuffled[:keep], key=lambda t: t.ctx.lane)
+            if HOT.enabled:
+                HOT.sched_splits.inc()
         return warp, group
+
+    @staticmethod
+    def _note_convergence(warp: _WarpState, num_groups: int) -> None:
+        """Track divergence/reconvergence transitions of the picked warp."""
+        if num_groups > 1:
+            if not warp.diverged:
+                warp.diverged = True
+            HOT.sched_divergent.inc()
+        elif warp.diverged:
+            warp.diverged = False
+            HOT.sched_reconverged.inc()
 
     # ------------------------------------------------------------------
     # Barrier resolution
@@ -205,6 +237,8 @@ class Scheduler:
         if not threads:
             return
         if all(t.status is ThreadStatus.AT_BLOCK_BARRIER for t in threads):
+            if HOT.enabled:
+                HOT.sched_barrier_releases.inc()
             machine.on_block_barrier(block_id, threads, self.batch_counter)
             for thread in threads:
                 thread.release_from_barrier()
@@ -215,6 +249,8 @@ class Scheduler:
                 t for t in warp.live_threads()
                 if t.status is ThreadStatus.AT_WARP_BARRIER
             ]
+            if HOT.enabled:
+                HOT.sched_barrier_releases.inc()
             machine.on_warp_barrier(warp.warp_id, waiting, self.batch_counter)
             for thread in waiting:
                 thread.release_from_barrier()
@@ -306,6 +342,13 @@ class Scheduler:
     ) -> None:
         self.batch_counter += 1
         batch = self.batch_counter
+        if HOT.enabled:
+            HOT.sched_batches.inc()
+        if self.span_activity is not None:
+            bounds = self.span_activity.get(warp.warp_id)
+            self.span_activity[warp.warp_id] = (
+                (batch, batch) if bounds is None else (bounds[0], batch)
+            )
         active_mask: FrozenSet[int] = frozenset(t.ctx.lane for t in group)
         barrier_blocks = set()
         barrier_warps = []

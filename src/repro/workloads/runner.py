@@ -37,6 +37,8 @@ from repro.errors import (
 from repro.gpu.arch import GPUConfig
 from repro.gpu.device import Device
 from repro.instrument.nvbit import Tool
+from repro.obs.metrics import HOT
+from repro.obs.spans import TRACER, now_us
 from repro.workloads.base import SIM_GPU, Workload, WorkloadResult
 
 ToolFactory = Optional[Callable[[], Tool]]
@@ -86,6 +88,13 @@ class _SeedTask:
     config: GPUConfig
     seed: int
 
+    def __str__(self) -> str:
+        """Readable cell label for stall warnings and trace span names."""
+        return (
+            f"{self.workload.name}:{detector_name(self.tool_factory)}"
+            f":s{self.seed}"
+        )
+
 
 def _run_seed_task(task: _SeedTask) -> SeedOutcome:
     """Module-level trampoline so Pool.map can pickle the callable."""
@@ -99,6 +108,9 @@ def _run_one_seed(
     seed: int,
 ) -> SeedOutcome:
     """Execute one seed on a fresh device and collect its outcome."""
+    if HOT.enabled:
+        HOT.runner_cells.inc()
+    span_start = now_us() if TRACER.enabled else 0.0
     device = Device(config)
     tool = None
     if tool_factory is not None:
@@ -116,6 +128,15 @@ def _run_one_seed(
         # A racy kernel deadlocking is a legitimate observation; the
         # detector's races up to that point stand.
         detail = f"deadlock: {exc}"
+    if TRACER.enabled:
+        TRACER.add_complete(
+            f"seed:{workload.name}:{detector_name(tool_factory)}:s{seed}",
+            span_start,
+            now_us() - span_start,
+            cat="seed",
+            tid=TRACER.tid_for("seeds"),
+            args={"status": status},
+        )
     return _collect_outcome(device, tool, status, detail)
 
 
@@ -315,3 +336,86 @@ def measured_overhead(
     """Convenience: the detector's slowdown factor for one workload."""
     result = run_workload(workload, tool_factory, config=config, seeds=seeds)
     return result.overhead
+
+
+# ---------------------------------------------------------------------------
+# CLI: run one suite cell with full observability
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """``python -m repro.workloads.runner``: one (workload, detector) cell.
+
+    The smallest entry point that exercises the whole pipeline — device,
+    scheduler, bus, detector, parallel fan-out — which makes it the CI
+    anchor for ``--metrics-out``/``--trace-out`` artifact validation.
+    """
+    import argparse
+
+    from repro.obs import (
+        add_observability_args,
+        begin_observability,
+        finalize_observability,
+    )
+    from repro.obs.log import get_logger, output
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.runner",
+        description="Run one workload under one detector.",
+    )
+    parser.add_argument(
+        "--workload", required=True, metavar="NAME",
+        help="a Table 4/5 workload name (see repro.workloads.REGISTRY)",
+    )
+    parser.add_argument(
+        "--detector", default="iguard",
+        choices=["iguard", "barracuda", "native"],
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan seed cells out over N worker processes",
+    )
+    parser.add_argument(
+        "--seeds", default=None, metavar="S1,S2",
+        help="scheduler seeds (default: the workload's pinned seeds)",
+    )
+    add_observability_args(parser)
+    args = parser.parse_args(argv)
+    begin_observability(args)
+    logger = get_logger("runner")
+
+    from repro.baselines.barracuda import Barracuda
+    from repro.core.detector import IGuard
+    from repro.workloads.registry import get_workload
+
+    factory: ToolFactory = {
+        "iguard": IGuard, "barracuda": Barracuda, "native": None
+    }[args.detector]
+    workload = get_workload(args.workload)
+    seeds = (
+        tuple(int(s) for s in args.seeds.split(",")) if args.seeds else None
+    )
+    logger.info(
+        "running %s under %s (%d worker(s))",
+        workload.name, args.detector, args.workers,
+    )
+    result = run_workload(
+        workload, factory, seeds=seeds, workers=args.workers
+    )
+    output(
+        f"{result.workload} under {result.detector}: "
+        f"status={result.status} races={result.races} "
+        f"overhead={result.overhead:.2f}x"
+    )
+    for ip, race_type in result.race_sites:
+        output(f"  [{race_type}] {ip}")
+    if result.detail:
+        logger.info("detail: %s", result.detail)
+    finalize_observability(args)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,278 @@
+"""Tests for the observability subsystem: metrics, spans, logs, forensics.
+
+The load-bearing invariant is the last test class: enabling the flight
+recorder must not change one bit of detection output — same races, same
+sites, same event counts — because every instrumentation site reads state
+without touching the scheduler's RNG stream or the detector's metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from benchmarks.validate_schema import validate
+from repro.core import IGuard
+from repro.errors import DeadlockError, TimeoutError_
+from repro.gpu.device import Device
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.workloads import get_workload
+from repro.workloads.base import SIM_GPU
+
+
+@pytest.fixture
+def obs_off():
+    """Guarantee the global recorder is off and clean around a test."""
+    obs_metrics.set_enabled(False)
+    obs_metrics.get_registry().reset()
+    obs_spans.set_tracing(False)
+    obs_spans.TRACER.drain()
+    yield
+    obs_metrics.set_enabled(False)
+    obs_metrics.get_registry().reset()
+    obs_spans.set_tracing(False)
+    obs_spans.TRACER.drain()
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.snapshot() == {"type": "counter", "value": 3.5}
+
+    def test_counter_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2)
+        b.inc(3)
+        a.merge(b.snapshot())
+        assert a.snapshot()["value"] == 5
+
+    def test_gauge_last_wins(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(7.0)
+        assert g.snapshot()["value"] == 7.0
+
+    def test_histogram_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(7.0)
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+
+    def test_histogram_merge(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(1.0)
+        b.observe(8.0)
+        b.observe(0.25)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 0.25 and snap["max"] == 8.0
+        assert sum(snap["buckets"].values()) == 3
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        r = MetricsRegistry(enabled=True)
+        assert r.counter("x") is r.counter("x")
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry(enabled=True)
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_merge_snapshot_adds_counters(self):
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.histogram("h").observe(1.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("n").snapshot()["value"] == 5
+        assert a.histogram("h").snapshot()["count"] == 1
+
+    def test_snapshot_document_matches_schema(self, obs_off):
+        obs_metrics.set_enabled(True)
+        registry = obs_metrics.get_registry()
+        registry.counter("a.b").inc()
+        registry.histogram("h").observe(0.5)
+        document = registry.snapshot_document()
+        with open("benchmarks/schemas/metrics.schema.json") as handle:
+            schema = json.load(handle)
+        assert validate(document, schema) == []
+
+    def test_hot_preregistered_and_cheap_when_disabled(self, obs_off):
+        hot = obs_metrics.HOT
+        assert not hot.enabled
+        # Disabled instrumentation sites never fire; the counters exist
+        # but stay untouched.
+        assert hot.detector_checked.snapshot()["value"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Span tracer
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_document_matches_schema(self):
+        tracer = SpanTracer(enabled=True)
+        tracer.name_process(1, "proc")
+        tracer.name_thread(1, 2, "thr")
+        tracer.add_complete("work", 10.0, 5.0, cat="test", tid=2, pid=1)
+        tracer.add_instant("mark", 12.0)
+        document = tracer.to_document()
+        with open("benchmarks/schemas/trace.schema.json") as handle:
+            schema = json.load(handle)
+        assert validate(document, schema) == []
+        assert json.loads(json.dumps(document)) == document
+
+    def test_drain_and_absorb(self):
+        worker = SpanTracer(enabled=True)
+        worker.add_complete("cell", 0.0, 1.0)
+        events = worker.drain()
+        assert worker.drain() == []
+        parent = SpanTracer(enabled=True)
+        parent.absorb(events)
+        assert [e["name"] for e in parent.to_document()["traceEvents"]] == [
+            "cell"
+        ]
+
+    def test_tid_for_is_stable(self):
+        tracer = SpanTracer(enabled=True)
+        assert tracer.tid_for("a") == tracer.tid_for("a")
+        assert tracer.tid_for("a") != tracer.tid_for("b")
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        tracer.add_complete("work", 0.0, 1.0)
+        assert tracer.to_document()["traceEvents"] == []
+
+
+# ---------------------------------------------------------------------------
+# Logging facade
+# ---------------------------------------------------------------------------
+
+
+class TestLog:
+    def test_output_goes_to_stdout(self, capsys):
+        obs_log.output("result", "line")
+        captured = capsys.readouterr()
+        assert captured.out == "result line\n"
+        assert captured.err == ""
+
+    def test_logger_namespaced_under_iguard(self):
+        logger = obs_log.get_logger("somewhere")
+        assert logger.name == "iguard.somewhere"
+        # The facade configures the "iguard" root, never the global root.
+        assert not logging.getLogger().handlers or all(
+            h.get_name() != "iguard" for h in logging.getLogger().handlers
+        )
+
+    def test_level_filtering(self, capsys):
+        obs_log.configure(level="warning")
+        logger = obs_log.get_logger("levels")
+        logger.info("hidden")
+        logger.warning("shown")
+        err = capsys.readouterr().err
+        assert "hidden" not in err
+        assert "shown" in err
+        obs_log.configure(level="info")
+
+
+# ---------------------------------------------------------------------------
+# Race forensics
+# ---------------------------------------------------------------------------
+
+
+class TestForensics:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        from repro.obs.forensics import explain_workload
+
+        return explain_workload("reduction", seeds=(1,))
+
+    def test_finds_races_from_replay(self, reports):
+        assert reports, "reduction seed 1 must produce racy forensics"
+
+    def test_report_names_racing_instruction_pair(self, reports):
+        from repro.obs.forensics import render_report
+
+        text = render_report(reports[0])
+        assert "racing instruction pair" in text
+        assert reports[0].current_ip in text
+        assert reports[0].previous_ip in text
+
+    def test_report_shows_metadata_words_and_condition(self, reports):
+        from repro.obs.forensics import render_report
+
+        first = reports[0]
+        text = render_report(first)
+        assert f"0x{first.accessor_word_before:016x}" in text
+        assert f"0x{first.writer_word_before:016x}" in text
+        assert first.condition in ("R1", "R2", "R3", "R4", "R5")
+        assert f"fired condition: {first.condition}" in text
+
+    def test_site_filter(self):
+        from repro.obs.forensics import explain_workload
+
+        filtered = explain_workload(
+            "reduction", site="_reduction_kernel:346", seeds=(1,)
+        )
+        assert filtered
+        assert all(
+            "_reduction_kernel:346" in f.record.ip for f in filtered
+        )
+
+
+# ---------------------------------------------------------------------------
+# The invariant: observability changes no detection output.
+# ---------------------------------------------------------------------------
+
+
+def _run_fingerprint(workload_name: str, seed: int) -> dict:
+    workload = get_workload(workload_name)
+    device = Device(SIM_GPU)
+    tool = device.add_tool(IGuard())
+    try:
+        workload.run(device, seed)
+    except (DeadlockError, TimeoutError_):
+        pass
+    return {
+        "sites": tool.races.sites(),
+        "num_records": len(tool.races.records()),
+        "checked": sum(s.accesses_checked for s in tool.stats),
+        "coalesced": sum(s.accesses_coalesced for s in tool.stats),
+        "batches": [r.batches for r in device.runs],
+        "instructions": [r.instructions for r in device.runs],
+    }
+
+
+class TestObsInvariance:
+    @pytest.mark.parametrize("name,seed", [("reduction", 1), ("matrix-mult", 2)])
+    def test_enabling_obs_is_bit_identical(self, obs_off, name, seed):
+        baseline = _run_fingerprint(name, seed)
+        obs_metrics.set_enabled(True)
+        obs_spans.set_tracing(True)
+        instrumented = _run_fingerprint(name, seed)
+        assert instrumented == baseline
+        # ... and the recorder actually recorded something.
+        hot = obs_metrics.HOT
+        assert hot.detector_checked.snapshot()["value"] > 0
+        assert obs_spans.TRACER.to_document()["traceEvents"]

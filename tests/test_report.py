@@ -91,3 +91,62 @@ class TestRaceLog:
         # 1 MiB buffer / 64-byte records = 16384 entries.
         from repro.core.config import DEFAULT_CONFIG
         assert DEFAULT_CONFIG.race_buffer_capacity == 16384
+
+
+class TestDroppedRecords:
+    def test_unbounded_by_default(self):
+        buf = RaceBuffer(capacity=2)
+        for i in range(10):
+            assert buf.push(record(ip=f"kern:{i}"))
+        assert buf.dropped == 0
+        assert len(buf.all_records()) == 10
+
+    def test_push_beyond_cap_counts_dropped(self):
+        buf = RaceBuffer(capacity=2, max_records=3)
+        assert buf.push(record(ip="kern:1"))
+        assert buf.push(record(ip="kern:2"))  # triggers an auto-flush
+        assert buf.push(record(ip="kern:3"))
+        assert not buf.push(record(ip="kern:4"))
+        assert not buf.push(record(ip="kern:5"))
+        assert buf.dropped == 2
+        assert len(buf.all_records()) == 3
+
+    def test_dropped_metric_increments(self):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.set_enabled(True)
+        try:
+            obs_metrics.get_registry().reset()
+            buf = RaceBuffer(capacity=8, max_records=1)
+            buf.push(record(ip="kern:1"))
+            buf.push(record(ip="kern:2"))
+            hot = obs_metrics.HOT
+            assert hot.races_dropped.snapshot()["value"] == 1
+        finally:
+            obs_metrics.set_enabled(False)
+            obs_metrics.get_registry().reset()
+
+    def test_log_surfaces_dropped(self):
+        log = RaceLog(capacity=8, max_records=2)
+        for i in range(5):
+            log.report(record(ip=f"kern:{i}"))
+        assert log.dropped == 3
+        assert len(log.records()) == 2
+
+    def test_dropped_record_still_registers_site_and_type(self):
+        # Site dedup (the paper's static race count) must not depend on
+        # buffer sizing: a record dropped at the cap still counts.
+        log = RaceLog(capacity=8, max_records=1)
+        assert log.report(record(ip="kern:1"))
+        assert log.report(
+            record(ip="kern:2", race_type=RaceType.IMPROPER_LOCKING)
+        )
+        assert log.num_sites == 2
+        assert log.sites() == [
+            ("kern:1", RaceType.INTER_BLOCK),
+            ("kern:2", RaceType.IMPROPER_LOCKING),
+        ]
+        assert log.types() == {
+            RaceType.INTER_BLOCK, RaceType.IMPROPER_LOCKING,
+        }
+        assert log.dropped == 1
