@@ -91,10 +91,30 @@ def main(argv=None) -> int:
         )
         return 2
     schema_path, instance_path = argv
-    with open(schema_path, "r", encoding="utf-8") as handle:
-        schema = json.load(handle)
-    with open(instance_path, "r", encoding="utf-8") as handle:
-        instance = json.load(handle)
+
+    def _read_json(path: str, role: str) -> Any:
+        # A missing artifact is an operator error, not a crash: report
+        # what could not be read and which role it played, no traceback.
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError as exc:
+            print(f"ERROR: cannot read {role} {path!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+        except json.JSONDecodeError as exc:
+            print(f"ERROR: {role} {path!r} is not valid JSON: {exc}",
+                  file=sys.stderr)
+        except UnicodeDecodeError as exc:
+            print(f"ERROR: {role} {path!r} is not UTF-8 text: {exc}",
+                  file=sys.stderr)
+        return None
+
+    schema = _read_json(schema_path, "schema")
+    if schema is None:
+        return 2
+    instance = _read_json(instance_path, "instance")
+    if instance is None:
+        return 2
     errors = validate(instance, schema)
     if errors:
         for error in errors:

@@ -11,6 +11,7 @@ flip ``coalescing``/``dynamic_backoff``; the ScoRD baseline mode disables
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigError
 
@@ -57,6 +58,13 @@ class IGuardConfig:
     #: and cycle breakdowns are bit-identical with the knob on or off;
     #: only the reproduction's own wall-clock time changes.
     fast_path: bool = True
+    #: Cap on materialized metadata entries (None = unbounded, the
+    #: paper's UVM-backed on-demand table).  A finite cap models memory
+    #: pressure: the table evicts its oldest entry to admit a new granule.
+    #: Eviction *resets* the granule — the next access re-runs the
+    #: first-access path — so pressure can only cost recall (exactly like
+    #: the paper's finite lock tables), never report a false race.
+    metadata_max_entries: Optional[int] = None
     #: How many previous accessors to track per granule.  The paper's
     #: default (and pragmatic choice) is 1 — only the last accessor and
     #: last writer fit in the 16-byte entry.  Section 6.7's ablation
@@ -74,6 +82,8 @@ class IGuardConfig:
             raise ConfigError("race buffer smaller than one record")
         if self.accessor_history < 1:
             raise ConfigError("accessor_history must be >= 1")
+        if self.metadata_max_entries is not None and self.metadata_max_entries < 1:
+            raise ConfigError("metadata_max_entries must be >= 1 (or None)")
 
     @property
     def race_buffer_capacity(self) -> int:

@@ -133,7 +133,9 @@ class IGuard(Tool):
         self.device = None
         self.races = RaceLog(capacity=config.race_buffer_capacity)
         self.table = MetadataTable(
-            config.granularity_bytes, config.metadata_entry_bytes
+            config.granularity_bytes,
+            config.metadata_entry_bytes,
+            max_entries=config.metadata_max_entries,
         )
         self.sync = SyncMetadata(config.lock_table_entries)
         self.stats: List[LaunchStats] = []

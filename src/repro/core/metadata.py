@@ -31,6 +31,7 @@ from typing import Dict, Optional
 
 from repro.common.bitfield import BitField, BitStruct
 from repro.gpu.ids import block_of_warp
+from repro.obs.metrics import HOT
 
 #: The last-accessor word (Figure 4, top row).
 ACCESSOR_WORD = BitStruct(
@@ -249,9 +250,21 @@ class MetadataTable:
     initialization, matching the paper's UVM-backed on-demand metadata).
     """
 
-    def __init__(self, granularity_bytes: int = 4, entry_bytes: int = 16):
+    def __init__(
+        self,
+        granularity_bytes: int = 4,
+        entry_bytes: int = 16,
+        max_entries: Optional[int] = None,
+    ):
         self.granularity_bytes = granularity_bytes
         self.entry_bytes = entry_bytes
+        #: Pressure cap (``IGuardConfig.metadata_max_entries``): admitting
+        #: a granule past the cap evicts the oldest entry.  Eviction
+        #: forgets history, so it can hide a race (bounded recall loss,
+        #: like the paper's finite lock tables) but never invent one —
+        #: the evicted granule simply looks like a first access again.
+        self.max_entries = max_entries
+        self.evictions = 0
         self._entries: Dict[int, MetadataEntry] = {}
         #: Power-of-two granularities (all the config allows) divide by a
         #: shift on the hot path; anything else falls back to division.
@@ -283,6 +296,16 @@ class MetadataTable:
         """``lookup`` for callers that already hold the granule index."""
         entry = self._entries.get(granule)
         if entry is None:
+            if (
+                self.max_entries is not None
+                and len(self._entries) >= self.max_entries
+            ):
+                # FIFO eviction: dicts preserve insertion order, so the
+                # first key is the longest-resident granule.
+                self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
+                if HOT.enabled:
+                    HOT.metadata_evictions.inc()
             entry = MetadataEntry()
             self._entries[granule] = entry
         return entry

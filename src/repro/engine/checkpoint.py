@@ -1,0 +1,177 @@
+"""Crash-safe checkpoint journal for suite runs (``--checkpoint``/``--resume``).
+
+A :class:`CellJournal` is an append-only JSONL file mapping cell keys to
+JSON payloads.  The suite runner journals every completed (workload,
+detector, seed) cell as it finishes — including cells finishing out of
+order under ``--workers N`` — so an interrupted run can be resumed with
+``--resume``: journaled cells are served from the file and skipped
+byte-identically, only the missing ones execute.
+
+Two properties make the journal trustworthy after a crash:
+
+- **append + flush per record** — a record is durable the moment the
+  cell completes; there is no buffered tail to lose;
+- **tolerant loading** — a partial trailing line (the crash landing
+  mid-write) is detected and ignored with a warning rather than
+  poisoning the resume.
+
+Keys embed a fingerprint of the device configuration, so a journal
+recorded against one simulated GPU is never replayed against another.
+
+The *ambient* journal (:func:`set_active`/:func:`active_journal`) lets
+entry points (``iguard-experiments --checkpoint``) arm checkpointing
+without threading a parameter through every experiment driver:
+:func:`repro.workloads.runner.run_suite` consults it when no explicit
+journal is passed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import HOT
+
+#: Bumped whenever the journal record schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+def config_fingerprint(config) -> str:
+    """A short stable fingerprint of a (frozen dataclass) configuration."""
+    return hashlib.sha1(repr(config).encode("utf-8")).hexdigest()[:10]
+
+
+def cell_key(workload_name: str, detector: str, seed: int, config) -> str:
+    """The journal key of one suite cell."""
+    return f"{workload_name}|{detector}|s{seed}|{config_fingerprint(config)}"
+
+
+class CellJournal:
+    """Append-only key -> payload store backed by one JSONL file."""
+
+    def __init__(self, path, resume: bool = False):
+        self.path = str(path)
+        self.resumed_cells = 0
+        self._cells: Dict[str, Any] = {}
+        self._logger = get_logger("checkpoint")
+        if resume and os.path.exists(self.path):
+            self._load()
+        else:
+            # Fresh run: truncate any stale journal so --resume later
+            # only ever sees cells from this run.
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps({"journal": JOURNAL_VERSION}) + "\n"
+                )
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves at most one partial
+                    # trailing line; anything it held re-executes.
+                    self._logger.warning(
+                        "%s: ignoring partial journal line %d",
+                        self.path, lineno,
+                    )
+                    continue
+                if "k" in record:
+                    self._cells[record["k"]] = record["o"]
+        self._logger.info(
+            "resuming from %s: %d journaled cell(s)",
+            self.path, len(self._cells),
+        )
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, key: str) -> Any:
+        """The journaled payload for ``key`` (KeyError when absent)."""
+        payload = self._cells[key]
+        self.resumed_cells += 1
+        if HOT.enabled:
+            HOT.checkpoint_reused.inc()
+        return payload
+
+    def record(self, key: str, payload: Any) -> None:
+        """Durably append one completed cell (idempotent per key)."""
+        if key in self._cells:
+            return
+        self._cells[key] = payload
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"k": key, "o": payload}, separators=(",", ":"))
+            )
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+# ---------------------------------------------------------------------------
+# SeedOutcome codec (the runner's journal payload)
+# ---------------------------------------------------------------------------
+
+
+def encode_outcome(outcome) -> dict:
+    """A :class:`~repro.workloads.runner.SeedOutcome` as JSON.
+
+    Every field is JSON-native already (``sites`` maps ip strings to
+    race-type tags, ``breakdown`` category names to cycle counts), and
+    floats survive JSON exactly — Python emits shortest-repr decimals —
+    so the round-trip is lossless and resumed merges are byte-identical.
+    """
+    return {
+        "status": outcome.status,
+        "detail": outcome.detail,
+        "sites": dict(outcome.sites),
+        "overhead": outcome.overhead,
+        "native_time": outcome.native_time,
+        "total_time": outcome.total_time,
+        "breakdown": dict(outcome.breakdown),
+    }
+
+
+def decode_outcome(payload: dict):
+    """Inverse of :func:`encode_outcome`."""
+    from repro.workloads.runner import SeedOutcome
+
+    return SeedOutcome(
+        status=payload["status"],
+        detail=payload["detail"],
+        sites=dict(payload["sites"]),
+        overhead=payload["overhead"],
+        native_time=payload["native_time"],
+        total_time=payload["total_time"],
+        breakdown=dict(payload["breakdown"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The ambient journal
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[CellJournal] = None
+
+
+def set_active(journal: Optional[CellJournal]) -> None:
+    """Install (or clear) the process-wide ambient journal."""
+    global _ACTIVE
+    _ACTIVE = journal
+
+
+def active_journal() -> Optional[CellJournal]:
+    """The ambient journal armed by an entry point, if any."""
+    return _ACTIVE

@@ -1,31 +1,50 @@
 """The multiprocessing executor behind the suite drivers' ``--workers``.
 
 One helper: :func:`parallel_map`, an order-preserving map over a list of
-picklable tasks.  ``chunksize=1`` keeps scheduling granular (workload ×
-seed cells vary wildly in cost) and the returned list is in input order,
-so callers merge results deterministically — the parallel path produces
-byte-identical merged output to the serial one.
+picklable tasks.  Cells are handed to workers one at a time (scheduling
+stays granular — workload × seed cells vary wildly in cost) and the
+returned list is in input order, so callers merge results
+deterministically — the parallel path produces byte-identical merged
+output to the serial one.
 
-Observability rides the map without changing its contract:
+Unlike a plain ``Pool``, the executor *supervises* its workers, so suite
+runs survive their environment:
 
-- every task is wrapped in a picklable :class:`_InstrumentedCall` that
-  snapshots the worker's metrics registry delta and drains its span
-  tracer per cell, so ``--metrics-out``/``--trace-out`` aggregate across
-  ``--workers N`` exactly like a serial run;
-- results are consumed incrementally with a **soft timeout**: a cell
-  that produces nothing for ``soft_timeout`` seconds triggers a
-  structured stall warning (naming the cell) instead of a silent hang,
-  and a periodic heartbeat logs ``k/n`` progress on long runs.
+- **soft timeout** — a cell silent for ``soft_timeout`` seconds triggers
+  a structured stall warning naming the cell (diagnostic only);
+- **hard timeout** (``--cell-timeout`` / ``IGUARD_CELL_TIMEOUT``) — a
+  cell running past the deadline has its worker killed and the cell
+  resubmitted;
+- **dead-worker detection** — a worker that dies mid-cell (segfault,
+  OOM-kill, injected chaos crash) is detected, replaced, and its cell
+  resubmitted;
+- **bounded retries** — every failure path (crash, kill, in-worker
+  exception) retries the cell up to ``max_retries`` times with
+  exponential backoff plus deterministic jitter, then raises
+  :class:`~repro.errors.RetryExhaustedError`; retry counts surface in
+  ``HOT`` metrics.
+
+Observability rides the map without changing its contract: every task is
+wrapped in a picklable :class:`_InstrumentedCall` that snapshots the
+worker's metrics registry delta and drains its span tracer per cell, so
+``--metrics-out``/``--trace-out`` aggregate across ``--workers N``
+exactly like a serial run.  The same wrapper is where
+:mod:`repro.faults.chaos` injects worker faults when ``IGUARD_CHAOS`` is
+set.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from time import perf_counter, sleep
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.common.rng import SplitMix64
+from repro.errors import RetryExhaustedError, WorkerCrashError
+from repro.faults import chaos
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.metrics import HOT
@@ -38,6 +57,27 @@ R = TypeVar("R")
 DEFAULT_SOFT_TIMEOUT = 120.0
 #: Seconds between progress heartbeats on multi-cell runs.
 HEARTBEAT_INTERVAL = 10.0
+#: Retries per cell after its first attempt fails.
+DEFAULT_MAX_RETRIES = 2
+#: First-retry backoff in seconds (doubles per retry, deterministic jitter).
+DEFAULT_BACKOFF_BASE = 0.1
+#: Supervisor poll interval while no results are arriving.
+_POLL_SECONDS = 0.02
+
+#: Environment default for the hard per-cell timeout (``--cell-timeout``).
+CELL_TIMEOUT_ENV = "IGUARD_CELL_TIMEOUT"
+
+
+def default_cell_timeout() -> Optional[float]:
+    """The ``IGUARD_CELL_TIMEOUT`` default, or None when unset."""
+    raw = os.environ.get(CELL_TIMEOUT_ENV, "")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass
@@ -61,13 +101,18 @@ class _InstrumentedCall:
     inherited tracer events are discarded — so the returned snapshot is
     exactly this cell's delta and the parent can merge deltas from all
     workers without double counting.
+
+    Chaos faults (``IGUARD_CHAOS``) are injected here, before the cell
+    body runs: a crashed or flaked attempt loses the whole cell, exactly
+    like a real mid-cell failure.
     """
 
     def __init__(self, fn: Callable, label: Callable[[Any], str] = str):
         self.fn = fn
         self.label = label
 
-    def __call__(self, item):
+    def __call__(self, item, attempt: int = 1):
+        chaos.maybe_inject(self.label(item), attempt)
         registry = obs_metrics.get_registry()
         if registry.enabled:
             registry.reset()
@@ -115,12 +160,256 @@ def _absorb(result: _CellResult) -> Any:
     return result.value
 
 
+# ---------------------------------------------------------------------------
+# The supervised worker team
+# ---------------------------------------------------------------------------
+
+
+def _team_worker(call: _InstrumentedCall, task_q, result_q) -> None:
+    """Worker loop: pull ``(index, attempt, item)`` jobs until sentinel.
+
+    Failures are reported as ``("error", ...)`` messages rather than
+    letting the process die: only genuine crashes (or injected chaos
+    crashes) kill the worker, which is exactly the signal the supervisor's
+    liveness check exists for.
+    """
+    while True:
+        job = task_q.get()
+        if job is None:
+            return
+        index, attempt, item = job
+        try:
+            value = call(item, attempt)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            result_q.put(
+                ("error", index, attempt, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_q.put(("done", index, attempt, value))
+
+
+class _Worker:
+    """A supervised worker process with private task/result queues.
+
+    Queues are per-worker on purpose: killing a process mid-``put`` can
+    corrupt the underlying pipe, and a private pipe is simply discarded
+    with its worker instead of poisoning the whole run.
+    """
+
+    __slots__ = ("process", "task_q", "result_q", "current", "started", "warned")
+
+    def __init__(self, ctx, call: _InstrumentedCall):
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_team_worker,
+            args=(call, self.task_q, self.result_q),
+            daemon=True,
+        )
+        self.process.start()
+        #: The in-flight (index, attempt), or None when idle.
+        self.current: Optional[Tuple[int, int]] = None
+        self.started = 0.0
+        self.warned = 0.0
+
+    def assign(self, index: int, attempt: int, item, now: float) -> None:
+        self.task_q.put((index, attempt, item))
+        self.current = (index, attempt)
+        self.started = now
+        self.warned = now
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - kill escalation
+            self.process.kill()
+            self.process.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.task_q.put_nowait(None)
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+
+
+class _Supervisor:
+    """Drives a team of workers over one task list with retries."""
+
+    def __init__(
+        self,
+        ctx,
+        call: _InstrumentedCall,
+        items: List,
+        workers: int,
+        soft_timeout: float,
+        hard_timeout: Optional[float],
+        max_retries: int,
+        backoff_base: float,
+        on_result: Optional[Callable[[int, Any], None]],
+    ):
+        self.ctx = ctx
+        self.call = call
+        self.items = items
+        self.soft_timeout = soft_timeout
+        self.hard_timeout = hard_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.on_result = on_result
+        self.logger = get_logger("parallel")
+        #: Deterministic jitter: seeded, not wall-clock dependent.
+        self.rng = SplitMix64(0xC4A05C4A05)
+        self.results: Dict[int, Any] = {}
+        self.pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(items))]
+        self.delayed: List[Tuple[float, int, int]] = []
+        self.team = [
+            _Worker(ctx, call) for _ in range(min(workers, len(items)))
+        ]
+
+    # -- failure handling ----------------------------------------------
+
+    def _label(self, index: int) -> str:
+        return self.call.label(self.items[index])
+
+    def _retry(self, index: int, attempt: int, reason: str, now: float) -> None:
+        """Resubmit a failed cell with backoff, or give up."""
+        if index in self.results:
+            # The cell actually completed (result raced the failure
+            # signal, e.g. a kill landing just after the final put).
+            return
+        if attempt > self.max_retries:
+            raise RetryExhaustedError(self._label(index), attempt, reason)
+        if HOT.enabled:
+            HOT.parallel_retries.inc()
+        backoff = self.backoff_base * (2 ** (attempt - 1))
+        backoff *= 1.0 + 0.25 * self.rng.random()
+        self.logger.warning(
+            "cell %s failed (%s); retry %d/%d in %.2fs",
+            self._label(index), reason, attempt, self.max_retries, backoff,
+        )
+        self.delayed.append((now + backoff, index, attempt + 1))
+
+    def _replace(self, worker: _Worker) -> _Worker:
+        worker.kill()
+        fresh = _Worker(self.ctx, self.call)
+        self.team[self.team.index(worker)] = fresh
+        return fresh
+
+    # -- one supervision pass ------------------------------------------
+
+    def _drain(self, worker: _Worker) -> bool:
+        progressed = False
+        while True:
+            try:
+                message = worker.result_q.get_nowait()
+            except queue_module.Empty:
+                return progressed
+            kind, index, attempt, payload = message
+            worker.current = None
+            progressed = True
+            if kind == "done":
+                if index not in self.results:
+                    self.results[index] = _absorb(payload)
+                    if self.on_result is not None:
+                        self.on_result(index, self.results[index])
+            else:
+                self._retry(index, attempt, payload, perf_counter())
+
+    def _check_health(self, worker: _Worker, now: float) -> None:
+        current = worker.current
+        if current is None:
+            return
+        index, attempt = current
+        if not worker.process.is_alive():
+            if HOT.enabled:
+                HOT.parallel_worker_crashes.inc()
+            crash = WorkerCrashError(
+                f"worker pid {worker.process.pid} died (exit code "
+                f"{worker.process.exitcode}) while running cell "
+                f"{self._label(index)!r}"
+            )
+            self.logger.warning("%s", crash)
+            worker.current = None
+            self._replace(worker)
+            self._retry(index, attempt, str(crash), now)
+        elif (
+            self.hard_timeout is not None
+            and now - worker.started > self.hard_timeout
+        ):
+            if HOT.enabled:
+                HOT.parallel_hard_timeouts.inc()
+            self.logger.warning(
+                "cell %s exceeded the hard timeout (%.0fs); killing its "
+                "worker and resubmitting",
+                self._label(index), self.hard_timeout,
+            )
+            worker.current = None
+            self._replace(worker)
+            self._retry(index, attempt, f"hard timeout {self.hard_timeout}s", now)
+        elif now - worker.warned >= self.soft_timeout:
+            worker.warned = now
+            if HOT.enabled:
+                HOT.parallel_soft_timeouts.inc()
+            self.logger.warning(
+                "cell %s has produced no result for %.0fs — still waiting "
+                "(soft timeout, not killed)",
+                self._label(index), now - worker.started,
+            )
+
+    # -- the loop -------------------------------------------------------
+
+    def run(self) -> List:
+        num_items = len(self.items)
+        last_heartbeat = perf_counter()
+        try:
+            while len(self.results) < num_items:
+                now = perf_counter()
+                if self.delayed:
+                    ready = [d for d in self.delayed if d[0] <= now]
+                    if ready:
+                        self.delayed = [d for d in self.delayed if d[0] > now]
+                        self.pending.extend((i, a) for _, i, a in ready)
+                for worker in list(self.team):
+                    while worker.current is None and self.pending:
+                        if not worker.process.is_alive():
+                            worker = self._replace(worker)  # pragma: no cover
+                        index, attempt = self.pending.pop(0)
+                        if index in self.results:
+                            continue  # superseded by a raced completion
+                        worker.assign(index, attempt, self.items[index], now)
+                progressed = False
+                for worker in list(self.team):
+                    progressed |= self._drain(worker)
+                for worker in list(self.team):
+                    self._check_health(worker, perf_counter())
+                now = perf_counter()
+                if now - last_heartbeat >= HEARTBEAT_INTERVAL:
+                    last_heartbeat = now
+                    self.logger.info(
+                        "progress: %d/%d cells complete",
+                        len(self.results), num_items,
+                    )
+                if not progressed:
+                    sleep(_POLL_SECONDS)
+        finally:
+            for worker in self.team:
+                worker.shutdown()
+        return [self.results[i] for i in range(num_items)]
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     workers: int,
     soft_timeout: float = DEFAULT_SOFT_TIMEOUT,
     label: Callable[[Any], str] = str,
+    hard_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff_base: float = DEFAULT_BACKOFF_BASE,
+    on_result: Optional[Callable[[int, R], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` using up to ``workers`` processes.
 
@@ -129,67 +418,58 @@ def parallel_map(
     re-import) and uses ``spawn`` where fork is unavailable; either way
     ``fn`` and each item must be picklable module-level objects.
 
-    ``soft_timeout`` bounds how long a single cell may stay silent before
-    a stall warning names it (the run keeps waiting — the timeout is
-    diagnostic, not a kill); ``label`` renders an item for log lines and
-    cell span names.
+    ``soft_timeout`` bounds how long a cell may stay silent before a
+    stall warning names it; ``hard_timeout`` (default: the
+    ``IGUARD_CELL_TIMEOUT`` environment variable, unset = never) kills
+    the cell's worker and resubmits; any failed attempt is retried up to
+    ``max_retries`` times with exponential backoff before
+    :class:`~repro.errors.RetryExhaustedError`.  ``label`` renders an
+    item for log lines and cell span names; ``on_result(index, value)``
+    fires in the parent as each cell completes (in completion order),
+    which is how the checkpoint journal records cells incrementally.
     """
     items = list(items)
+    if hard_timeout is None:
+        hard_timeout = default_cell_timeout()
     if workers <= 1 or len(items) <= 1:
         # Inline: no worker process, so no registry reset/merge — the
         # parent registry accumulates directly; only timing is added.
         results = []
-        for item in items:
+        for index, item in enumerate(items):
             if not (HOT.enabled or TRACER.enabled):
-                results.append(fn(item))
-                continue
-            start_us = now_us()
-            start = perf_counter()
-            value = fn(item)
-            seconds = perf_counter() - start
-            if HOT.enabled:
-                HOT.parallel_cells.inc()
-                HOT.parallel_cell_seconds.observe(seconds)
-            if TRACER.enabled:
-                TRACER.add_complete(
-                    f"cell:{label(item)}", start_us, seconds * 1e6,
-                    cat="cell", tid=0,
-                )
+                value = fn(item)
+            else:
+                start_us = now_us()
+                start = perf_counter()
+                value = fn(item)
+                seconds = perf_counter() - start
+                if HOT.enabled:
+                    HOT.parallel_cells.inc()
+                    HOT.parallel_cell_seconds.observe(seconds)
+                if TRACER.enabled:
+                    TRACER.add_complete(
+                        f"cell:{label(item)}", start_us, seconds * 1e6,
+                        cat="cell", tid=0,
+                    )
+            if on_result is not None:
+                on_result(index, value)
             results.append(value)
         return results
-    logger = get_logger("parallel")
     method = (
         "fork"
         if "fork" in multiprocessing.get_all_start_methods()
         else "spawn"
     )
     ctx = multiprocessing.get_context(method)
-    call = _InstrumentedCall(fn, label)
-    results: List[R] = []
-    num_items = len(items)
-    with ctx.Pool(processes=min(workers, num_items)) as pool:
-        iterator = pool.imap(call, items, chunksize=1)
-        last_heartbeat = perf_counter()
-        for index in range(num_items):
-            stalled_for = 0.0
-            while True:
-                try:
-                    wrapped = iterator.next(timeout=soft_timeout)
-                    break
-                except multiprocessing.TimeoutError:
-                    stalled_for += soft_timeout
-                    if HOT.enabled:
-                        HOT.parallel_soft_timeouts.inc()
-                    logger.warning(
-                        "cell %d/%d (%s) has produced no result for %.0fs "
-                        "— still waiting (soft timeout, not killed)",
-                        index + 1, num_items, label(items[index]), stalled_for,
-                    )
-            results.append(_absorb(wrapped))
-            now = perf_counter()
-            if now - last_heartbeat >= HEARTBEAT_INTERVAL:
-                last_heartbeat = now
-                logger.info(
-                    "progress: %d/%d cells complete", index + 1, num_items
-                )
-    return results
+    supervisor = _Supervisor(
+        ctx,
+        _InstrumentedCall(fn, label),
+        items,
+        workers,
+        soft_timeout=soft_timeout,
+        hard_timeout=hard_timeout,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+        on_result=on_result,
+    )
+    return supervisor.run()

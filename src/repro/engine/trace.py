@@ -25,6 +25,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.errors import TraceCorruptionError
 from repro.gpu.arch import GPUConfig
 from repro.gpu.events import (
     AccessKind,
@@ -39,6 +40,7 @@ from repro.gpu.ids import ThreadLocation
 from repro.gpu.instructions import AtomicOp, Scope
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category
+from repro.obs.log import get_logger
 
 #: Bumped whenever the record schema changes incompatibly.
 FORMAT_VERSION = 1
@@ -232,6 +234,8 @@ class Trace:
 
     def __init__(self, events: Iterable = ()):
         self.events: List = list(events)
+        #: Set by ``load(salvage=True)`` when the file was truncated.
+        self.corruption: Optional[TraceCorruptionError] = None
 
     def append(self, event) -> None:
         self.events.append(event)
@@ -310,15 +314,59 @@ class Trace:
                 handle.write("\n")
 
     @classmethod
-    def load(cls, path) -> "Trace":
-        """Read a trace written by :meth:`save`."""
+    def load(cls, path, salvage: bool = False) -> "Trace":
+        """Read a trace written by :meth:`save`.
+
+        A truncated or corrupt file (a crash mid-record, a bad byte, a
+        clipped gzip stream) raises :class:`TraceCorruptionError` carrying
+        the line number and the byte offset of the last intact record.
+        With ``salvage=True`` the intact prefix is returned instead — the
+        corruption details are attached as ``trace.corruption`` so replay
+        consumers can tell a salvaged trace from a complete one.
+        """
         opener = gzip.open if str(path).endswith(".gz") else open
-        with opener(path, "rt", encoding="utf-8") as handle:
-            return cls(
-                decode_event(json.loads(line))
-                for line in handle
-                if line.strip()
+        events: List = []
+        line_number = 0
+        last_good_offset = 0
+        corruption: Optional[TraceCorruptionError] = None
+        try:
+            with opener(path, "rt", encoding="utf-8") as handle:
+                for line in handle:
+                    line_number += 1
+                    stripped = line.strip()
+                    if stripped:
+                        try:
+                            events.append(decode_event(json.loads(stripped)))
+                        except (
+                            json.JSONDecodeError, KeyError, ValueError,
+                            TypeError, IndexError,
+                        ) as exc:
+                            corruption = TraceCorruptionError(
+                                path, line_number, last_good_offset,
+                                f"{type(exc).__name__}: {exc}",
+                                events_recovered=len(events),
+                            )
+                            break
+                    last_good_offset += len(line.encode("utf-8"))
+        except (EOFError, UnicodeDecodeError, gzip.BadGzipFile, OSError) as exc:
+            # A clipped gzip stream (or undecodable bytes) surfaces from
+            # the reader itself, not from a parsed line.
+            corruption = TraceCorruptionError(
+                path, line_number + 1, last_good_offset,
+                f"{type(exc).__name__}: {exc}",
+                events_recovered=len(events),
             )
+        if corruption is not None:
+            if not salvage:
+                raise corruption
+            get_logger("trace").warning(
+                "salvaged %d event(s) from %s (%s)",
+                len(events), path, corruption,
+            )
+            trace = cls(events)
+            trace.corruption = corruption
+            return trace
+        return cls(events)
 
 
 # ---------------------------------------------------------------------------

@@ -52,3 +52,46 @@ class UnsupportedFeatureError(ReproError):
 
 class KernelSourceError(ReproError):
     """A kernel function was not a generator or misused the DSL."""
+
+
+class TraceCorruptionError(ReproError):
+    """A recorded trace file was truncated or corrupt.
+
+    Carries enough structure for a caller to salvage the readable prefix:
+    ``line`` is the 1-based line number of the first bad record and
+    ``last_good_offset`` the byte offset (of the decoded text stream, so
+    it is meaningful for gzipped traces too) just past the last record
+    that decoded cleanly.
+    """
+
+    def __init__(self, path, line: int, last_good_offset: int, reason: str,
+                 events_recovered: int = 0):
+        super().__init__(
+            f"{path}: corrupt trace at line {line} "
+            f"(byte offset {last_good_offset}): {reason}"
+        )
+        self.path = str(path)
+        self.line = line
+        self.last_good_offset = last_good_offset
+        self.reason = reason
+        self.events_recovered = events_recovered
+
+
+class WorkerCrashError(ReproError):
+    """A suite-executor worker process died while running a cell."""
+
+
+class RetryExhaustedError(ReproError):
+    """A suite cell kept failing after the executor's bounded retries.
+
+    ``attempts`` counts executions (initial try + retries); ``last_error``
+    is a human-readable description of the final failure.
+    """
+
+    def __init__(self, label: str, attempts: int, last_error: str):
+        super().__init__(
+            f"cell {label!r} failed after {attempts} attempt(s): {last_error}"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error

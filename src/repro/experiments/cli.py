@@ -59,6 +59,33 @@ def main(argv=None) -> int:
              "supports parallel fan-out (default: 1)",
     )
     parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject worker faults via an IGUARD_CHAOS spec, e.g. "
+             "'crash=0.25,hang=0.1,seed=11' (see repro.faults.chaos)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="hard per-cell timeout for the suite executor: kill and "
+             "retry cells running longer than SEC seconds",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal completed suite cells to PATH (crash-safe resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve cells already journaled in --checkpoint instead of "
+             "re-running them (byte-identical merged results)",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         const=25,
@@ -70,6 +97,26 @@ def main(argv=None) -> int:
     )
     add_observability_args(parser)
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    # Chaos/timeout/checkpoint arm process-wide state the suite executor
+    # and runner consult, so no experiment driver needs new parameters.
+    if args.chaos is not None:
+        import os
+
+        from repro.faults import chaos as chaos_module
+
+        os.environ[chaos_module.ENV_VAR] = args.chaos
+    if args.cell_timeout is not None:
+        import os
+
+        from repro.engine.parallel import CELL_TIMEOUT_ENV
+
+        os.environ[CELL_TIMEOUT_ENV] = str(args.cell_timeout)
+    if args.checkpoint:
+        from repro.engine import checkpoint as ckpt
+
+        ckpt.set_active(ckpt.CellJournal(args.checkpoint, resume=args.resume))
     begin_observability(args)
     logger = get_logger("cli")
     names = args.experiments or list(ALL_EXPERIMENTS)

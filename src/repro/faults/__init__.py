@@ -1,0 +1,24 @@
+"""Fault injection and chaos engineering for the iGUARD reproduction.
+
+Three layers, one package:
+
+- :mod:`repro.faults.mutators` — seeded transformations over the kernel
+  DSL instruction stream (drop/weaken fences, skip barriers, demote
+  atomics, reorder stores past barriers), each annotated with the Table 2
+  condition the injected race should fire;
+- :mod:`repro.faults.workloads` — small race-free *pattern* workloads
+  built so that every catalogued mutation produces a deterministic,
+  direction-pinned race;
+- :mod:`repro.faults.recall` — the detection-power regression gate: run
+  iGUARD over every (workload, mutant) cell and report detected/missed;
+- :mod:`repro.faults.chaos` — infrastructure chaos: crash/hang/slow/flake
+  faults injected into suite-executor workers behind the ``IGUARD_CHAOS``
+  environment spec, exercised against the executor's retry/resume
+  machinery.
+
+Submodules import lazily on purpose: :mod:`repro.engine.parallel` pulls
+in :mod:`repro.faults.chaos` (stdlib-only) without dragging the mutation
+catalog into every worker process.
+"""
+
+__all__ = ["chaos", "mutators", "recall", "workloads"]

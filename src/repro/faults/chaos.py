@@ -1,0 +1,172 @@
+"""Infrastructure chaos: deterministic worker faults behind ``IGUARD_CHAOS``.
+
+A chaos spec is a comma-separated list of ``key=value`` pairs::
+
+    IGUARD_CHAOS="crash=0.25,hang=0.15,seed=11"
+
+Fault kinds (each ``key`` is a probability in ``[0, 1]``):
+
+- ``crash`` — the worker process exits immediately (``os._exit``), as if
+  segfaulted or OOM-killed; the executor must detect the dead worker and
+  resubmit the cell.
+- ``hang``  — the worker sleeps for ``hang_s`` seconds (default 600),
+  far past any sane cell deadline; only a hard ``--cell-timeout`` kill
+  recovers it.
+- ``slow``  — the worker sleeps ``slow_s`` seconds (default 0.05) before
+  running the cell: latency jitter, no failure.
+- ``flake`` — the worker raises :class:`ChaosFault` before running the
+  cell: an in-process transient failure the executor retries.
+
+Decisions are *deterministic*: whether a fault fires depends only on the
+spec's ``seed``, the cell's label, and the attempt number — never on
+wall-clock or process state.  Faults fire only on the first ``times``
+attempts (default 1), so a bounded-retry executor always converges and a
+seeded chaos run produces results byte-identical to a fault-free one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.rng import SplitMix64
+from repro.errors import ConfigError
+
+#: Exit status of a chaos-crashed worker (distinctive in executor logs).
+CHAOS_EXIT_CODE = 57
+
+#: Environment variable carrying the active spec.
+ENV_VAR = "IGUARD_CHAOS"
+
+
+class ChaosFault(Exception):
+    """The transient in-process failure raised by ``flake`` faults.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: domain code
+    never catches it, so it propagates to the executor like any
+    unexpected worker bug would.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A parsed ``IGUARD_CHAOS`` fault-injection specification."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    slow: float = 0.0
+    flake: float = 0.0
+    seed: int = 0
+    times: int = 1
+    hang_s: float = 600.0
+    slow_s: float = 0.05
+
+    _FLOAT_KEYS = ("crash", "hang", "slow", "flake", "hang_s", "slow_s")
+    _INT_KEYS = ("seed", "times")
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Parse ``"crash=0.25,hang=0.1,seed=11"`` into a spec."""
+        values: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigError(
+                    f"chaos spec entry {part!r} is not key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            try:
+                if key in cls._INT_KEYS:
+                    values[key] = int(raw)
+                elif key in cls._FLOAT_KEYS:
+                    values[key] = float(raw)
+                else:
+                    raise ConfigError(f"unknown chaos spec key {key!r}")
+            except ValueError:
+                raise ConfigError(
+                    f"chaos spec value {raw!r} for {key!r} is not a number"
+                ) from None
+        spec = cls(**values)
+        for name in ("crash", "hang", "slow", "flake"):
+            p = getattr(spec, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"chaos probability {name}={p} not in [0, 1]")
+        return spec
+
+    def fault_for(self, label: str, attempt: int) -> Optional[str]:
+        """The fault kind to inject for this (cell, attempt), if any.
+
+        Deterministic in (seed, label, attempt).  Faults never fire past
+        attempt ``times``, guaranteeing eventual success under retries.
+        """
+        if attempt > self.times:
+            return None
+        mix = (self.seed << 32) ^ (zlib.crc32(label.encode("utf-8")) << 8)
+        rng = SplitMix64(mix ^ attempt)
+        draw = rng.random()
+        for kind in ("crash", "hang", "slow", "flake"):
+            p = getattr(self, kind)
+            if draw < p:
+                return kind
+            draw -= p
+        return None
+
+
+def active_spec() -> Optional[ChaosSpec]:
+    """The spec from ``IGUARD_CHAOS``, or None when chaos is off.
+
+    Parsed per call but cached against the raw string, so flipping the
+    environment between runs (tests, CLI ``--chaos``) takes effect
+    immediately without re-parse cost on the steady path.
+    """
+    text = os.environ.get(ENV_VAR, "")
+    if not text:
+        return None
+    cached = _CACHE.get(text)
+    if cached is None:
+        cached = _CACHE[text] = ChaosSpec.parse(text)
+    return cached
+
+
+_CACHE: dict = {}
+
+
+def maybe_inject(label: str, attempt: int) -> None:
+    """Fire the configured fault for this cell attempt, if any.
+
+    Called by the executor's worker wrapper just before the cell runs —
+    crashes and flakes therefore lose the whole attempt, exactly like a
+    real mid-cell failure would.
+    """
+    spec = active_spec()
+    if spec is None:
+        return
+    kind = spec.fault_for(label, attempt)
+    if kind is None:
+        return
+    if kind == "slow":
+        _count_injection()
+        time.sleep(spec.slow_s)
+        return
+    if kind == "flake":
+        _count_injection()
+        raise ChaosFault(f"injected flake in cell {label!r} (attempt {attempt})")
+    if kind == "hang":
+        _count_injection()
+        time.sleep(spec.hang_s)
+        return
+    # crash: no metrics survive an _exit, so do not bother counting.
+    os._exit(CHAOS_EXIT_CODE)
+
+
+def _count_injection() -> None:
+    from repro.obs.metrics import HOT
+
+    if HOT.enabled:
+        HOT.chaos_injected.inc()

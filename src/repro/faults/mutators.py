@@ -1,0 +1,195 @@
+"""Seeded kernel-stream mutators: break synchronization, annotate the race.
+
+A :class:`MutationSpec` names one way to corrupt a kernel's
+synchronization — exactly the bug classes the paper's Table 2 conditions
+exist to catch (and the classes repair tools like GPURepair patch):
+
+===================  ====================================================
+kind                 effect on the instruction stream
+===================  ====================================================
+``drop_fence``       delete a matching :class:`~repro.gpu.instructions.Fence`
+``weaken_fence``     demote a device-scope fence to block scope
+``skip_syncthreads`` delete ``__syncthreads()`` (for every thread, so the
+                     mutant cannot deadlock on a partial barrier)
+``skip_syncwarp``    delete ``__syncwarp()``
+``demote_atomic``    replace an atomic with a plain load (zero-add reads)
+                     or store (everything else)
+``weaken_scope``     demote a device-scope atomic to block scope
+``reorder_store``    stash a matching store and replay it just *after*
+                     the thread's next ``__syncthreads()``
+===================  ====================================================
+
+Each spec carries the Table 2 condition (``condition``) and race-type tag
+(``expected_type``) the injected bug should fire, which is what the
+recall gate asserts.  Targeting is structural — instruction class, scope,
+allocation name, a thread predicate — not line numbers, so catalogs
+survive edits to the pattern kernels.
+
+The runtime hook is :class:`StreamMutator.on_instruction`, called by
+:meth:`repro.gpu.kernel.KernelThread._advance` for every fetched
+instruction.  Install one with :func:`install` (it needs the device to
+resolve allocation names to address ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.gpu.instructions import (
+    Atomic,
+    AtomicOp,
+    Fence,
+    Load,
+    Scope,
+    Store,
+    Syncthreads,
+    Syncwarp,
+)
+
+#: Mutation kinds -> instruction class they target.
+_KIND_TARGETS = {
+    "drop_fence": Fence,
+    "weaken_fence": Fence,
+    "skip_syncthreads": Syncthreads,
+    "skip_syncwarp": Syncwarp,
+    "demote_atomic": Atomic,
+    "weaken_scope": Atomic,
+    "reorder_store": Store,
+}
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """One catalogued way to break a workload's synchronization.
+
+    ``thread`` restricts the mutation to threads whose
+    :class:`~repro.gpu.kernel.ThreadCtx` satisfies the predicate (None =
+    all threads); ``target_array`` restricts address-carrying targets to
+    one named allocation.  ``condition``/``expected_type`` annotate the
+    Table 2 check and race tag the mutant should trigger.
+    """
+
+    name: str
+    kind: str
+    condition: str        # e.g. "R4" — the Table 2 check expected to fire
+    expected_type: str    # e.g. "DR" — the RaceType tag expected in reports
+    description: str = ""
+    target_array: Optional[str] = None
+    thread: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_TARGETS:
+            raise ConfigError(f"unknown mutation kind {self.kind!r}")
+
+
+class StreamMutator:
+    """Applies one :class:`MutationSpec` to a device's instruction stream.
+
+    Stateful per launch-set: counts applications (``applied``) so the
+    recall gate can assert the mutation actually landed, and tracks the
+    per-thread stash for ``reorder_store``.
+    """
+
+    def __init__(self, spec: MutationSpec, device):
+        self.spec = spec
+        self.device = device
+        self.applied = 0
+        self._range: Optional[Tuple[int, int]] = None
+        #: reorder_store state: thread id -> stashed (Store, ip).
+        self._stash: dict = {}
+        #: reorder_store: threads whose stash was already replayed.
+        self._replayed: set = set()
+
+    # ------------------------------------------------------------------
+
+    def _address_matches(self, address: int) -> bool:
+        if self.spec.target_array is None:
+            return True
+        if self._range is None:
+            for allocation in self.device.memory.allocations():
+                if allocation.name == self.spec.target_array:
+                    self._range = (allocation.base, allocation.end)
+                    break
+            else:
+                return False
+        base, end = self._range
+        return base <= address < end
+
+    def _thread_matches(self, thread) -> bool:
+        predicate = self.spec.thread
+        return predicate is None or bool(predicate(thread.ctx))
+
+    # ------------------------------------------------------------------
+
+    def on_instruction(self, thread, instr, ip):
+        """The :class:`~repro.gpu.kernel.KernelThread` mutation hook.
+
+        Returns the instruction unchanged, ``None`` to drop it, a
+        replacement instruction, or a list of ``(instruction, ip)`` steps
+        (first executes now, the rest before the generator resumes).
+        """
+        kind = self.spec.kind
+
+        # reorder_store arms on the *barrier*, for any thread with a stash.
+        if kind == "reorder_store" and isinstance(instr, Syncthreads):
+            stashed = self._stash.pop(id(thread), None)
+            if stashed is not None:
+                return [(instr, ip), stashed]
+            return instr
+
+        if not isinstance(instr, _KIND_TARGETS[kind]):
+            return instr
+        if not self._thread_matches(thread):
+            return instr
+
+        if kind == "drop_fence":
+            self.applied += 1
+            return None
+        if kind == "weaken_fence":
+            if instr.scope is not Scope.DEVICE:
+                return instr
+            self.applied += 1
+            return Fence(Scope.BLOCK)
+        if kind in ("skip_syncthreads", "skip_syncwarp"):
+            self.applied += 1
+            return None
+        if kind == "demote_atomic":
+            if not self._address_matches(instr.address):
+                return instr
+            self.applied += 1
+            if instr.op is AtomicOp.ADD and instr.value == 0:
+                return Load(instr.address)
+            return Store(instr.address, instr.value)
+        if kind == "weaken_scope":
+            if not self._address_matches(instr.address):
+                return instr
+            if instr.scope is not Scope.DEVICE:
+                return instr
+            self.applied += 1
+            return Atomic(
+                instr.op, instr.address, instr.value,
+                scope=Scope.BLOCK, compare=instr.compare,
+            )
+        # reorder_store: stash the first matching store per thread; it is
+        # dropped here and replayed right after the thread's next
+        # __syncthreads() (see the Syncthreads branch above).
+        key = id(thread)
+        if (
+            key in self._stash
+            or key in self._replayed
+            or not self._address_matches(instr.address)
+        ):
+            return instr
+        self._stash[key] = (instr, ip)
+        self._replayed.add(key)
+        self.applied += 1
+        return None
+
+
+def install(spec: MutationSpec, device) -> StreamMutator:
+    """Attach a mutator for ``spec`` to ``device`` and return it."""
+    mutator = StreamMutator(spec, device)
+    device.mutator = mutator
+    return mutator

@@ -1,0 +1,303 @@
+"""The detection-power regression gate: does iGUARD catch injected races?
+
+For each pattern workload the gate runs one *baseline* cell (unmutated —
+must report **zero** races, proving the pattern is genuinely race-free)
+and one cell per selected mutation (must report at least one race whose
+type matches the mutation's annotated Table 2 expectation).  A mutant
+whose race goes unreported is a *missed* detection: the gate exits
+non-zero and CI fails, which is what makes it a recall regression gate
+rather than a demo.
+
+The report is deliberately timing-free and key-sorted, so two runs of
+the same tree produce byte-identical JSON — CI exploits that to assert
+that a chaos-injected ``--workers 2`` run (worker crashes, hangs,
+retries, resume) merges to exactly the fault-free serial result.
+
+CLI::
+
+    python -m repro.faults.recall [--workloads a,b] [--mutants N]
+        [--seed S] [--workers N] [--cell-timeout SEC]
+        [--checkpoint PATH [--resume]] [--chaos SPEC] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.rng import SplitMix64
+from repro.core.detector import IGuard
+from repro.engine import checkpoint as ckpt
+from repro.engine.parallel import parallel_map
+from repro.errors import DeadlockError, TimeoutError_
+from repro.faults.mutators import install
+from repro.faults.workloads import FAULT_PATTERNS, PatternWorkload, get_pattern
+from repro.gpu.device import Device
+from repro.workloads.base import SIM_GPU
+
+#: Report schema version (bump on incompatible changes).
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class _RecallCell:
+    """One executable gate cell: a pattern, optionally mutated."""
+
+    pattern: str
+    mutation: Optional[str]  # None = the race-free baseline
+
+    def __str__(self) -> str:
+        return f"recall:{self.pattern}:{self.mutation or 'baseline'}"
+
+
+def _run_recall_cell(cell: _RecallCell) -> dict:
+    """Run one gate cell over the pattern's pinned seeds; union the races.
+
+    Every field of the returned record is deterministic in (tree, cell):
+    sites are source positions, never timings or pids.
+    """
+    pattern = get_pattern(cell.pattern)
+    spec = pattern.mutation(cell.mutation) if cell.mutation else None
+    sites: Dict[str, str] = {}
+    applied = 0
+    status = "ok"
+    for seed in pattern.workload.seeds:
+        device = Device(SIM_GPU)
+        tool = device.add_tool(IGuard())
+        mutator = install(spec, device) if spec is not None else None
+        try:
+            pattern.workload.run(device, seed)
+        except (DeadlockError, TimeoutError_) as exc:
+            # A mutant wedging the kernel is a legitimate outcome; the
+            # detector's races up to that point stand.
+            status = f"{type(exc).__name__}"
+        if mutator is not None:
+            applied += mutator.applied
+        for ip, race_type in tool.races.sites():
+            sites[ip] = str(race_type)
+    record = {
+        "workload": cell.pattern,
+        "mutation": cell.mutation,
+        "status": status,
+        "applied": applied,
+        "sites": sorted(sites.items()),
+        "types": sorted(set(sites.values())),
+    }
+    if spec is not None:
+        record["condition"] = spec.condition
+        record["expected_type"] = spec.expected_type
+        record["detected"] = spec.expected_type in record["types"]
+    return record
+
+
+def select_mutations(
+    pattern: PatternWorkload, mutants: Optional[int], seed: int
+) -> Tuple:
+    """The mutation subset to run: all, or ``mutants`` seeded picks."""
+    specs = list(pattern.mutations)
+    if mutants is None or mutants >= len(specs):
+        return tuple(specs)
+    rng = SplitMix64((seed << 16) ^ len(pattern.name))
+    picked = []
+    pool = list(specs)
+    for _ in range(max(mutants, 0)):
+        picked.append(pool.pop(rng.randint(len(pool))))
+    return tuple(sorted(picked, key=lambda s: s.name))
+
+
+def run_recall(
+    workload_names: Optional[Sequence[str]] = None,
+    mutants: Optional[int] = None,
+    seed: int = 1,
+    workers: int = 1,
+    cell_timeout: Optional[float] = None,
+    journal: Optional[ckpt.CellJournal] = None,
+) -> dict:
+    """Run the gate and return the (deterministic, JSON-ready) report."""
+    patterns = (
+        [get_pattern(name) for name in workload_names]
+        if workload_names
+        else list(FAULT_PATTERNS)
+    )
+    cells: List[_RecallCell] = []
+    for pattern in patterns:
+        cells.append(_RecallCell(pattern.name, None))
+        for spec in select_mutations(pattern, mutants, seed):
+            cells.append(_RecallCell(pattern.name, spec.name))
+
+    keys = [f"{cell}|s{seed}|{ckpt.config_fingerprint(SIM_GPU)}"
+            for cell in cells]
+    records: List[Optional[dict]] = [None] * len(cells)
+    submit: List[int] = []
+    for index, key in enumerate(keys):
+        if journal is not None and key in journal:
+            records[index] = journal.get(key)
+        else:
+            submit.append(index)
+
+    def _journal_result(position: int, record: dict) -> None:
+        if journal is not None:
+            journal.record(keys[submit[position]], record)
+
+    fresh = parallel_map(
+        _run_recall_cell,
+        [cells[i] for i in submit],
+        workers,
+        hard_timeout=cell_timeout,
+        on_result=_journal_result,
+    )
+    for position, record in zip(submit, fresh):
+        records[position] = record
+
+    workloads: Dict[str, dict] = {}
+    detected = missed = baseline_false_positives = 0
+    for record in records:
+        entry = workloads.setdefault(
+            record["workload"], {"baseline": None, "mutants": []}
+        )
+        if record["mutation"] is None:
+            entry["baseline"] = record
+            baseline_false_positives += len(record["sites"])
+        else:
+            entry["mutants"].append(record)
+            if record["detected"]:
+                detected += 1
+            else:
+                missed += 1
+    for entry in workloads.values():
+        entry["mutants"].sort(key=lambda r: r["mutation"])
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "seed": seed,
+        "mutants_per_workload": mutants,
+        "workloads": workloads,
+        "summary": {
+            "mutants": detected + missed,
+            "detected": detected,
+            "missed": missed,
+            "baseline_false_positives": baseline_false_positives,
+        },
+    }
+
+
+def report_passed(report: dict) -> bool:
+    """Gate verdict: every mutant detected, every baseline race-free."""
+    summary = report["summary"]
+    return summary["missed"] == 0 and summary["baseline_false_positives"] == 0
+
+
+def render(report: dict) -> str:
+    """Human-readable gate summary (the JSON artifact is the contract)."""
+    lines = ["Recall gate: injected-race detection power", ""]
+    for name, entry in sorted(report["workloads"].items()):
+        baseline = entry["baseline"]
+        clean = "race-free" if not baseline["sites"] else (
+            f"FALSE POSITIVES: {baseline['sites']}"
+        )
+        lines.append(f"{name}: baseline {clean}")
+        for record in entry["mutants"]:
+            verdict = "detected" if record["detected"] else "MISSED"
+            types = ", ".join(record["types"]) or "-"
+            lines.append(
+                f"  {record['mutation']}: {verdict} "
+                f"[{record['condition']} -> expect {record['expected_type']}, "
+                f"got {types}]"
+            )
+    summary = report["summary"]
+    lines.append("")
+    lines.append(
+        f"{summary['detected']}/{summary['mutants']} mutants detected, "
+        f"{summary['missed']} missed, "
+        f"{summary['baseline_false_positives']} baseline false positive(s)."
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    import argparse
+    import os
+
+    from repro.obs import (
+        add_observability_args,
+        begin_observability,
+        finalize_observability,
+    )
+    from repro.obs.log import output
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.recall",
+        description="Detection-power gate: run iGUARD over injected races.",
+    )
+    parser.add_argument(
+        "--workloads", default=None, metavar="A,B",
+        help="pattern workloads to gate (default: all)",
+    )
+    parser.add_argument(
+        "--mutants", type=int, default=None, metavar="N",
+        help="seeded pick of N mutations per workload (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan gate cells out over N worker processes",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SEC",
+        help="hard per-cell timeout: kill and retry cells running longer "
+             "than SEC seconds (default: IGUARD_CELL_TIMEOUT or none)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed cells to PATH for crash-safe --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already journaled in --checkpoint",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="set IGUARD_CHAOS for this run, e.g. 'crash=0.25,seed=11'",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the deterministic JSON report to PATH",
+    )
+    add_observability_args(parser)
+    args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    if args.chaos is not None:
+        from repro.faults import chaos as chaos_module
+
+        os.environ[chaos_module.ENV_VAR] = args.chaos
+    begin_observability(args)
+
+    journal = (
+        ckpt.CellJournal(args.checkpoint, resume=args.resume)
+        if args.checkpoint
+        else None
+    )
+    names = args.workloads.split(",") if args.workloads else None
+    report = run_recall(
+        workload_names=names,
+        mutants=args.mutants,
+        seed=args.seed,
+        workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        journal=journal,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    output(render(report))
+    finalize_observability(args)
+    return 0 if report_passed(report) else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -91,6 +91,9 @@ class Device:
         self.tools: List[Tool] = self.bus.sinks
         self.runs: List[KernelRun] = []
         self.memory.alloc_hooks.append(self.bus.publish_alloc)
+        #: Optional fault-injection mutator (repro.faults.mutators); when
+        #: set, every launched thread offers its instruction stream to it.
+        self.mutator = None
 
     # ------------------------------------------------------------------
     # Tools and allocation
@@ -151,7 +154,9 @@ class Device:
         for global_tid in range(num_threads):
             loc = locate(global_tid, block_dim, warp_size)
             ctx = ThreadCtx(loc, block_dim, grid_dim, warp_size)
-            threads.append(KernelThread(kernel_fn, ctx, args))
+            threads.append(
+                KernelThread(kernel_fn, ctx, args, mutator=self.mutator)
+            )
 
         timing = TimingBreakdown(
             parallelism=effective_parallelism(

@@ -124,9 +124,17 @@ class KernelThread:
         "status",
         "barrier_mask",
         "steps",
+        "mutator",
+        "_inject",
     )
 
-    def __init__(self, kernel_fn: Callable, ctx: ThreadCtx, args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        kernel_fn: Callable,
+        ctx: ThreadCtx,
+        args: Tuple[Any, ...],
+        mutator=None,
+    ):
         self.ctx = ctx
         self.kernel_name = getattr(kernel_fn, "__name__", "kernel")
         gen = kernel_fn(ctx, *args)
@@ -141,6 +149,15 @@ class KernelThread:
         self.status = ThreadStatus.READY
         self.barrier_mask: Optional[int] = None
         self.steps = 0
+        #: Fault-injection hook (repro.faults.mutators.StreamMutator).
+        #: The hook lives here — not as a generator wrapper — because a
+        #: wrapper's frame would terminate the ``gi_yieldfrom`` walk in
+        #: :meth:`_capture_ip` and collapse every instruction onto one ip,
+        #: destroying convergence grouping and race-site reporting.
+        self.mutator = mutator
+        #: Instructions a mutator queued to run before the generator is
+        #: advanced again (e.g. a store reordered past a barrier).
+        self._inject: Optional[list] = None
         self._advance(None, first=True)
 
     # ------------------------------------------------------------------
@@ -170,26 +187,54 @@ class KernelThread:
         return ip
 
     def _advance(self, value, first: bool = False) -> None:
-        """Run the generator until its next yield (or completion)."""
-        try:
-            if first:
-                instr = next(self._gen)
-            else:
-                instr = self._gen.send(value)
-        except StopIteration:
-            self.pending = None
-            self.status = ThreadStatus.DONE
+        """Run the generator until its next yield (or completion).
+
+        When a mutator is installed, each fetched instruction is offered to
+        it: the mutator may keep it, replace it, drop it (the yield then
+        evaluates to None, which is what barrier/fence/store yields produce
+        anyway), or schedule extra instructions to execute before the
+        generator resumes.  Results of injected instructions are discarded;
+        the generator only ever sees the result of its own instruction.
+        """
+        if self._inject:
+            self.pending, self.pending_ip = self._inject.pop(0)
+            self.status = ThreadStatus.READY
+            self.steps += 1
             return
-        if not isinstance(instr, Instruction):
-            raise KernelSourceError(
-                f"kernel {self.kernel_name!r} yielded {instr!r}; kernels must "
-                "yield Instruction objects (use the helpers in "
-                "repro.gpu.instructions)"
-            )
-        self.pending = instr
-        self.pending_ip = self._capture_ip()
-        self.status = ThreadStatus.READY
-        self.steps += 1
+        while True:
+            try:
+                if first:
+                    instr = next(self._gen)
+                else:
+                    instr = self._gen.send(value)
+            except StopIteration:
+                self.pending = None
+                self.status = ThreadStatus.DONE
+                return
+            if not isinstance(instr, Instruction):
+                raise KernelSourceError(
+                    f"kernel {self.kernel_name!r} yielded {instr!r}; kernels "
+                    "must yield Instruction objects (use the helpers in "
+                    "repro.gpu.instructions)"
+                )
+            ip = self._capture_ip()
+            if self.mutator is not None:
+                plan = self.mutator.on_instruction(self, instr, ip)
+                if plan is None:  # dropped: complete the yield with None
+                    first, value = False, None
+                    continue
+                if plan is not instr:
+                    steps = plan if isinstance(plan, list) else [(plan, ip)]
+                    instr, ip = steps[0]
+                    if len(steps) > 1:
+                        if self._inject is None:
+                            self._inject = []
+                        self._inject.extend(steps[1:])
+            self.pending = instr
+            self.pending_ip = ip
+            self.status = ThreadStatus.READY
+            self.steps += 1
+            return
 
     # ------------------------------------------------------------------
 

@@ -267,6 +267,15 @@ class _HotMetrics:
         self.parallel_cells = registry.counter("parallel.cells_completed")
         self.parallel_cell_seconds = registry.histogram("parallel.cell_seconds")
         self.parallel_soft_timeouts = registry.counter("parallel.soft_timeouts")
+        self.parallel_hard_timeouts = registry.counter("parallel.hard_timeouts")
+        self.parallel_retries = registry.counter("parallel.retries")
+        self.parallel_worker_crashes = registry.counter("parallel.worker_crashes")
+        # Chaos / fault injection (repro.faults).
+        self.chaos_injected = registry.counter("chaos.injected_faults")
+        # Checkpoint/resume journal.
+        self.checkpoint_reused = registry.counter("checkpoint.cells_reused")
+        # Metadata-table pressure (graceful degradation knob).
+        self.metadata_evictions = registry.counter("detector.metadata.evictions")
 
 
 _REGISTRY = MetricsRegistry(

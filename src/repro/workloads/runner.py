@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.engine import checkpoint as ckpt
 from repro.engine.parallel import parallel_map
 from repro.errors import (
     DeadlockError,
@@ -222,12 +223,81 @@ def _unsupported_binary(workload: Workload, detector: str) -> WorkloadResult:
     )
 
 
+def _run_tasks(
+    tasks: List[_SeedTask],
+    workers: int,
+    journal: Optional[ckpt.CellJournal],
+    cell_timeout: Optional[float],
+) -> List[SeedOutcome]:
+    """Execute seed cells in parallel, serving/recording the journal.
+
+    Journaled cells never reach a worker; missing cells are fanned out
+    and recorded durably as each completes, so an interrupted run resumes
+    from exactly the cells it finished.
+    """
+    keys = [
+        ckpt.cell_key(
+            t.workload.name, detector_name(t.tool_factory), t.seed, t.config
+        )
+        for t in tasks
+    ]
+    outcomes: List[Optional[SeedOutcome]] = [None] * len(tasks)
+    submit: List[int] = []
+    for index, key in enumerate(keys):
+        if journal is not None and key in journal:
+            outcomes[index] = ckpt.decode_outcome(journal.get(key))
+        else:
+            submit.append(index)
+
+    def _journal_result(position: int, outcome: SeedOutcome) -> None:
+        if journal is not None:
+            journal.record(keys[submit[position]], ckpt.encode_outcome(outcome))
+
+    fresh = parallel_map(
+        _run_seed_task,
+        [tasks[i] for i in submit],
+        workers,
+        hard_timeout=cell_timeout,
+        on_result=_journal_result,
+    )
+    for position, outcome in zip(submit, fresh):
+        outcomes[position] = outcome
+    return outcomes
+
+
+def _lazy_outcomes(
+    workload: Workload,
+    tool_factory: ToolFactory,
+    config: GPUConfig,
+    seeds,
+    journal: Optional[ckpt.CellJournal],
+) -> Iterable[SeedOutcome]:
+    """Serial seed outcomes, lazily, served from/recorded to the journal.
+
+    Lazy matters: a timeout at seed k stops later seeds from ever
+    running, exactly as the historical loop's ``break`` did — a resumed
+    run therefore re-derives the identical early stop.
+    """
+    detector = detector_name(tool_factory)
+    for seed in seeds:
+        key = ckpt.cell_key(workload.name, detector, seed, config)
+        if journal is not None and key in journal:
+            yield ckpt.decode_outcome(journal.get(key))
+            continue
+        outcome = _run_one_seed(workload, tool_factory, config, seed)
+        if journal is not None:
+            journal.record(key, ckpt.encode_outcome(outcome))
+        yield outcome
+
+
 def run_workload(
     workload: Workload,
     tool_factory: ToolFactory = None,
     config: GPUConfig = SIM_GPU,
     seeds=None,
     workers: int = 1,
+    cell_timeout: Optional[float] = None,
+    journal: Optional[ckpt.CellJournal] = None,
 ) -> WorkloadResult:
     """Execute ``workload`` under a detector built by ``tool_factory``.
 
@@ -235,9 +305,14 @@ def run_workload(
     a fresh device and a fresh tool; race sites are unioned across seeds
     and timing is averaged.  With ``workers > 1`` the seeds run in
     parallel processes; the merged result is identical to the serial one.
+    ``cell_timeout`` kills and retries stuck seed cells (parallel path);
+    ``journal`` (default: the ambient :func:`repro.engine.checkpoint`
+    journal) records completed cells for crash-safe ``--resume``.
     """
     seeds = tuple(seeds) if seeds is not None else workload.seeds
     name = detector_name(tool_factory)
+    if journal is None:
+        journal = ckpt.active_journal()
 
     # Barracuda executes PTX embedded in the binary; real-world multi-file
     # libraries defeat that, so it cannot run them at all (section 7.1).
@@ -248,15 +323,12 @@ def run_workload(
         tasks = [
             _SeedTask(workload, tool_factory, config, seed) for seed in seeds
         ]
-        outcomes: Iterable[SeedOutcome] = parallel_map(
-            _run_seed_task, tasks, workers
+        outcomes: Iterable[SeedOutcome] = _run_tasks(
+            tasks, workers, journal, cell_timeout
         )
     else:
-        # Lazy: a timeout at seed k stops later seeds from ever running,
-        # exactly as the historical loop's `break` did.
-        outcomes = (
-            _run_one_seed(workload, tool_factory, config, seed)
-            for seed in seeds
+        outcomes = _lazy_outcomes(
+            workload, tool_factory, config, seeds, journal
         )
     return _merge_outcomes(workload.name, name, outcomes)
 
@@ -265,6 +337,8 @@ def run_suite(
     requests,
     workers: int = 1,
     config: GPUConfig = SIM_GPU,
+    cell_timeout: Optional[float] = None,
+    journal: Optional[ckpt.CellJournal] = None,
 ) -> List[WorkloadResult]:
     """Run many (workload, tool_factory, seeds) cells, optionally parallel.
 
@@ -274,6 +348,11 @@ def run_suite(
     seed cells are flattened into one task list and fanned out together,
     so parallelism crosses request boundaries — the useful shape for the
     experiment drivers, whose cells are many small independent runs.
+
+    ``journal`` (default: the ambient :mod:`repro.engine.checkpoint`
+    journal armed by ``--checkpoint``) serves completed cells from disk
+    and records fresh ones, making interrupted suite runs resumable with
+    byte-identical merged results.
     """
     expanded = [
         (
@@ -283,9 +362,14 @@ def run_suite(
         )
         for workload, tool_factory, seeds in requests
     ]
+    if journal is None:
+        journal = ckpt.active_journal()
     if workers <= 1:
         return [
-            run_workload(workload, tool_factory, config=config, seeds=seeds)
+            run_workload(
+                workload, tool_factory, config=config, seeds=seeds,
+                cell_timeout=cell_timeout, journal=journal,
+            )
             for workload, tool_factory, seeds in expanded
         ]
 
@@ -302,7 +386,7 @@ def run_suite(
         )
         plan.append(("merge", workload.name, name, start, len(seeds)))
 
-    outcomes = parallel_map(_run_seed_task, tasks, workers)
+    outcomes = _run_tasks(tasks, workers, journal, cell_timeout)
 
     results: List[WorkloadResult] = []
     for entry in plan:
@@ -379,8 +463,24 @@ def main(argv=None) -> int:
         "--seeds", default=None, metavar="S1,S2",
         help="scheduler seeds (default: the workload's pinned seeds)",
     )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SEC",
+        help="hard per-cell timeout: kill and retry a seed cell running "
+             "longer than SEC seconds (default: IGUARD_CELL_TIMEOUT or none)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed cells to PATH for crash-safe --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already journaled in --checkpoint instead of "
+             "re-running them (byte-identical merged results)",
+    )
     add_observability_args(parser)
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
     begin_observability(args)
     logger = get_logger("runner")
 
@@ -395,12 +495,18 @@ def main(argv=None) -> int:
     seeds = (
         tuple(int(s) for s in args.seeds.split(",")) if args.seeds else None
     )
+    journal = (
+        ckpt.CellJournal(args.checkpoint, resume=args.resume)
+        if args.checkpoint
+        else None
+    )
     logger.info(
         "running %s under %s (%d worker(s))",
         workload.name, args.detector, args.workers,
     )
     result = run_workload(
-        workload, factory, seeds=seeds, workers=args.workers
+        workload, factory, seeds=seeds, workers=args.workers,
+        cell_timeout=args.cell_timeout, journal=journal,
     )
     output(
         f"{result.workload} under {result.detector}: "

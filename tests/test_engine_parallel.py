@@ -1,9 +1,48 @@
-"""The parallel suite executor merges identically to the serial path."""
+"""The parallel suite executor merges identically to the serial path —
+and survives crashed, hung, and flaky workers."""
+
+import logging
+import time
+
+import pytest
 
 from repro.core import IGuard
 from repro.engine.parallel import parallel_map
+from repro.errors import RetryExhaustedError
+from repro.faults import chaos
 from repro.workloads import get_workload, run_suite, run_workload
 from repro.workloads.runner import _SeedTask, _run_seed_task, detector_name
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _always_fail(item):
+    raise ValueError(f"boom on {item}")
+
+
+class _CapturingHandler(logging.Handler):
+    def __init__(self):
+        super().__init__()
+        self.messages = []
+
+    def emit(self, record):
+        self.messages.append(record.getMessage())
+
+
+@pytest.fixture
+def parallel_log():
+    """Capture ``iguard.parallel`` warnings (the facade never propagates
+    to the root logger, so pytest's caplog cannot see them)."""
+    handler = _CapturingHandler()
+    logger = logging.getLogger("iguard.parallel")
+    logger.addHandler(handler)
+    try:
+        yield handler.messages
+    finally:
+        logger.removeHandler(handler)
 
 
 class TestParallelMap:
@@ -79,3 +118,86 @@ class TestParallelEqualsSerial:
 
         task = _SeedTask(workload, IGuard, SIM_GPU, seed=1)
         assert _run_seed_task(task) == _run_one_seed(workload, IGuard, SIM_GPU, 1)
+
+
+class TestSupervision:
+    """The executor survives stalled, crashed, hung and flaky workers."""
+
+    def test_soft_timeout_logs_stall_warning(self, parallel_log):
+        # One cell sleeps well past the soft timeout: the supervisor
+        # names it in a warning but lets it finish.
+        result = parallel_map(
+            _sleepy, [0.6, 0.0, 0.0], workers=2, soft_timeout=0.15
+        )
+        assert result == [0.6, 0.0, 0.0]
+        stalls = [m for m in parallel_log if "no result" in m]
+        assert stalls and "0.6" in stalls[0]
+
+    def test_worker_crash_detected_and_cell_resubmitted(
+        self, monkeypatch, parallel_log
+    ):
+        # Every cell's first attempt dies via os._exit (injected chaos);
+        # the supervisor replaces the worker and the retry succeeds.
+        monkeypatch.setenv(chaos.ENV_VAR, "crash=1.0,seed=3,times=1")
+        result = parallel_map(
+            abs, [-1, -2, -3], workers=2, backoff_base=0.01
+        )
+        assert result == [1, 2, 3]
+        assert any("died" in m for m in parallel_log)
+        assert sum("retry" in m for m in parallel_log) >= 3
+
+    def test_hung_cell_killed_by_hard_timeout_and_retried(
+        self, monkeypatch, parallel_log
+    ):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, "hang=1.0,seed=5,times=1,hang_s=60"
+        )
+        start = time.perf_counter()
+        result = parallel_map(
+            abs, [-4, -5], workers=2, hard_timeout=0.3, backoff_base=0.01
+        )
+        assert result == [4, 5]
+        assert time.perf_counter() - start < 30.0  # nowhere near hang_s
+        assert any("hard timeout" in m for m in parallel_log)
+
+    def test_flaky_cell_retried_in_process(self, monkeypatch, parallel_log):
+        monkeypatch.setenv(chaos.ENV_VAR, "flake=1.0,seed=7,times=1")
+        result = parallel_map(abs, [-6, -7], workers=2, backoff_base=0.01)
+        assert result == [6, 7]
+        assert any("ChaosFault" in m for m in parallel_log)
+
+    def test_permanent_failure_exhausts_retries(self):
+        with pytest.raises(RetryExhaustedError) as info:
+            parallel_map(
+                _always_fail, [1, 2], workers=2,
+                max_retries=1, backoff_base=0.01,
+            )
+        assert "failed after" in str(info.value)
+        assert "boom" in str(info.value)
+
+    def test_hard_timeout_env_default(self, monkeypatch):
+        from repro.engine.parallel import (
+            CELL_TIMEOUT_ENV,
+            default_cell_timeout,
+        )
+
+        monkeypatch.delenv(CELL_TIMEOUT_ENV, raising=False)
+        assert default_cell_timeout() is None
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "12.5")
+        assert default_cell_timeout() == 12.5
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "not-a-number")
+        assert default_cell_timeout() is None
+
+    def test_chaos_run_matches_clean_run(self, monkeypatch):
+        # The acceptance property: a seeded chaos run converges to the
+        # same merged results as a fault-free run.
+        from repro.workloads.base import SIM_GPU
+
+        workload = get_workload("b_scan")
+        tasks = [_SeedTask(workload, IGuard, SIM_GPU, seed) for seed in (1, 2)]
+        clean = [_run_seed_task(t) for t in tasks]
+        monkeypatch.setenv(chaos.ENV_VAR, "crash=0.5,flake=0.5,seed=13,times=1")
+        chaotic = parallel_map(
+            _run_seed_task, tasks, workers=2, backoff_base=0.01
+        )
+        assert chaotic == clean

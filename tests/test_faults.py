@@ -1,0 +1,384 @@
+"""The chaos harness: mutators, recall gate, chaos spec, checkpointing,
+trace salvage, and graceful degradation under metadata pressure."""
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.core import IGuard
+from repro.core.config import IGuardConfig
+from repro.engine import checkpoint as ckpt
+from repro.engine.trace import Trace, TraceSink
+from repro.errors import ConfigError, TraceCorruptionError
+from repro.faults import chaos
+from repro.faults.mutators import MutationSpec, install
+from repro.faults.recall import (
+    render,
+    report_passed,
+    run_recall,
+    select_mutations,
+)
+from repro.faults.workloads import FAULT_PATTERNS, get_pattern, total_mutations
+from repro.gpu.device import Device
+from repro.workloads import get_workload, run_workload
+from repro.workloads.base import SIM_GPU
+
+
+def _races_of(pattern, seed, spec=None, config=None):
+    """Run one pattern (optionally mutated) and return {ip: type-tag}."""
+    device = Device(SIM_GPU)
+    tool = device.add_tool(IGuard(config) if config else IGuard())
+    if spec is not None:
+        install(spec, device)
+    pattern.workload.run(device, seed)
+    return {ip: str(t) for ip, t in tool.races.sites()}, tool
+
+
+class TestPatternBaselines:
+    """Every pattern is genuinely race-free until a mutation breaks it."""
+
+    @pytest.mark.parametrize(
+        "name", [p.name for p in FAULT_PATTERNS]
+    )
+    def test_baseline_race_free(self, name):
+        pattern = get_pattern(name)
+        for seed in pattern.workload.seeds:
+            sites, _ = _races_of(pattern, seed)
+            assert sites == {}, f"{name} baseline raced at seed {seed}"
+
+
+class TestMutantDetection:
+    """Acceptance: every sync-removal mutant is detected with the
+    annotated Table 2 race type."""
+
+    @pytest.mark.parametrize(
+        "name,mutation",
+        [(p.name, m.name) for p in FAULT_PATTERNS for m in p.mutations],
+    )
+    def test_mutant_detected_with_expected_type(self, name, mutation):
+        pattern = get_pattern(name)
+        spec = pattern.mutation(mutation)
+        types = set()
+        applied = 0
+        for seed in pattern.workload.seeds:
+            device = Device(SIM_GPU)
+            tool = device.add_tool(IGuard())
+            mutator = install(spec, device)
+            pattern.workload.run(device, seed)
+            applied += mutator.applied
+            types |= {str(t) for _, t in tool.races.sites()}
+        assert applied > 0, f"{mutation} never fired on {name}"
+        assert spec.expected_type in types, (
+            f"{name}/{mutation} ({spec.condition}): expected "
+            f"{spec.expected_type}, detected {sorted(types) or 'nothing'}"
+        )
+
+    def test_every_condition_annotated(self):
+        for pattern in FAULT_PATTERNS:
+            for spec in pattern.mutations:
+                assert spec.condition.startswith("R")
+                assert spec.expected_type in ("AS", "ITS", "BR", "DR", "IL")
+
+    def test_total_mutations_counts_all(self):
+        assert total_mutations() == sum(
+            len(p.mutations) for p in FAULT_PATTERNS
+        )
+
+
+class TestMutationSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            MutationSpec(
+                name="x", kind="explode", condition="R1", expected_type="AS"
+            )
+
+
+class TestRecallGate:
+    def test_gate_passes_and_report_is_deterministic(self):
+        first = run_recall(seed=1)
+        second = run_recall(seed=1)
+        assert report_passed(first)
+        assert first["summary"]["missed"] == 0
+        assert first["summary"]["mutants"] == total_mutations()
+        dump = lambda r: json.dumps(r, indent=2, sort_keys=True)
+        assert dump(first) == dump(second)
+
+    def test_parallel_matches_serial(self):
+        names = ["warp-exchange", "scoped-counter"]
+        serial = run_recall(workload_names=names, workers=1)
+        parallel = run_recall(workload_names=names, workers=2)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_select_mutations_is_seeded_subset(self):
+        pattern = get_pattern("ff-pipeline")
+        subset = select_mutations(pattern, 1, seed=7)
+        assert len(subset) == 1
+        assert subset == select_mutations(pattern, 1, seed=7)
+        assert set(subset) <= set(pattern.mutations)
+        assert select_mutations(pattern, None, seed=7) == pattern.mutations
+
+    def test_render_mentions_every_mutation(self):
+        report = run_recall(workload_names=["warp-exchange"])
+        text = render(report)
+        assert "skip-syncwarp" in text and "detected" in text
+
+    def test_journal_resume_byte_identical(self, tmp_path):
+        path = tmp_path / "recall.journal"
+        names = ["ff-pipeline"]
+        baseline = run_recall(workload_names=names)
+        journal = ckpt.CellJournal(path)
+        first = run_recall(workload_names=names, journal=journal)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            baseline, sort_keys=True
+        )
+        resumed_journal = ckpt.CellJournal(path, resume=True)
+        resumed = run_recall(workload_names=names, journal=resumed_journal)
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            baseline, sort_keys=True
+        )
+        # Every cell came from the journal, none re-executed.
+        assert resumed_journal.resumed_cells == len(resumed_journal)
+
+
+class TestChaosSpec:
+    def test_parse_round_trip(self):
+        spec = chaos.ChaosSpec.parse("crash=0.3,hang=0.2,seed=11,hang_s=120")
+        assert spec.crash == 0.3 and spec.hang == 0.2
+        assert spec.seed == 11 and spec.hang_s == 120.0
+        assert spec.times == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            chaos.ChaosSpec.parse("crash")
+        with pytest.raises(ConfigError):
+            chaos.ChaosSpec.parse("warp=0.5")
+        with pytest.raises(ConfigError):
+            chaos.ChaosSpec.parse("crash=lots")
+
+    def test_fault_decisions_are_deterministic(self):
+        spec = chaos.ChaosSpec.parse("crash=0.5,flake=0.3,seed=9")
+        decisions = [spec.fault_for(f"cell-{i}", 1) for i in range(64)]
+        assert decisions == [
+            spec.fault_for(f"cell-{i}", 1) for i in range(64)
+        ]
+        assert "crash" in decisions and "flake" in decisions
+
+    def test_faults_stop_after_times_attempts(self):
+        spec = chaos.ChaosSpec.parse("crash=1.0,seed=1,times=2")
+        assert spec.fault_for("cell", 1) == "crash"
+        assert spec.fault_for("cell", 2) == "crash"
+        assert spec.fault_for("cell", 3) is None
+
+    def test_active_spec_reads_environment(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        assert chaos.active_spec() is None
+        monkeypatch.setenv(chaos.ENV_VAR, "flake=1.0,seed=2")
+        spec = chaos.active_spec()
+        assert spec is not None and spec.flake == 1.0
+
+    def test_maybe_inject_flake_raises(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "flake=1.0,seed=2")
+        with pytest.raises(chaos.ChaosFault):
+            chaos.maybe_inject("some-cell", 1)
+        # Past the fault budget the same cell passes clean.
+        chaos.maybe_inject("some-cell", 2)
+
+
+class TestCheckpoint:
+    def test_outcome_codec_round_trip(self):
+        from repro.workloads.runner import _run_one_seed
+
+        workload = get_workload("1dconv")
+        outcome = _run_one_seed(workload, IGuard, SIM_GPU, 1)
+        encoded = json.loads(json.dumps(ckpt.encode_outcome(outcome)))
+        assert ckpt.decode_outcome(encoded) == outcome
+
+    def test_journal_survives_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "cells.journal"
+        journal = ckpt.CellJournal(path)
+        journal.record("a", {"v": 1})
+        journal.record("b", {"v": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"k": "c", "o"')  # crash mid-append
+        resumed = ckpt.CellJournal(path, resume=True)
+        assert "a" in resumed and "b" in resumed and "c" not in resumed
+        assert resumed.get("a") == {"v": 1}
+
+    def test_fresh_journal_truncates_stale_file(self, tmp_path):
+        path = tmp_path / "cells.journal"
+        ckpt.CellJournal(path).record("old", {"v": 0})
+        fresh = ckpt.CellJournal(path)  # resume=False
+        assert len(fresh) == 0
+        assert "old" not in ckpt.CellJournal(path, resume=True)
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "cells.journal"
+        journal = ckpt.CellJournal(path)
+        journal.record("k", {"v": 1})
+        journal.record("k", {"v": 2})  # raced duplicate: first wins
+        resumed = ckpt.CellJournal(path, resume=True)
+        assert resumed.get("k") == {"v": 1}
+
+    def test_cell_key_embeds_config_fingerprint(self):
+        key = ckpt.cell_key("wl", "iguard", 3, SIM_GPU)
+        assert key.startswith("wl|iguard|s3|")
+        other = ckpt.cell_key("wl", "iguard", 3, IGuardConfig())
+        assert key != other
+
+    def test_run_workload_resume_byte_identical(self, tmp_path):
+        path = tmp_path / "wl.journal"
+        workload = get_workload("b_scan")
+        baseline = run_workload(workload, IGuard, seeds=(1, 2))
+        journal = ckpt.CellJournal(path)
+        first = run_workload(workload, IGuard, seeds=(1, 2), journal=journal)
+        assert first == baseline
+        resumed_journal = ckpt.CellJournal(path, resume=True)
+        resumed = run_workload(
+            workload, IGuard, seeds=(1, 2), journal=resumed_journal
+        )
+        assert resumed == baseline
+        assert resumed_journal.resumed_cells == 2
+
+    def test_ambient_journal_set_and_clear(self, tmp_path):
+        journal = ckpt.CellJournal(tmp_path / "ambient.journal")
+        try:
+            ckpt.set_active(journal)
+            assert ckpt.active_journal() is journal
+        finally:
+            ckpt.set_active(None)
+        assert ckpt.active_journal() is None
+
+
+def _record_pattern_trace(tmp_path, suffix=""):
+    pattern = get_pattern("ff-pipeline")
+    device = Device(SIM_GPU)
+    sink = device.add_sink(TraceSink())
+    pattern.workload.run(device, 1)
+    path = str(tmp_path / f"trace.jsonl{suffix}")
+    sink.trace.save(path)
+    return path, len(sink.trace)
+
+
+class TestTraceSalvage:
+    def test_corrupt_line_raises_with_forensics(self, tmp_path):
+        path, total = _record_pattern_trace(tmp_path)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        cut = total // 2
+        with open(path, "wb") as handle:
+            handle.write(b"".join(lines[:cut]) + lines[cut][:7])
+        with pytest.raises(TraceCorruptionError) as info:
+            Trace.load(path)
+        assert info.value.line == cut + 1
+        assert info.value.events_recovered == cut
+        assert info.value.last_good_offset == sum(
+            len(line) for line in lines[:cut]
+        )
+        assert "corrupt trace at line" in str(info.value)
+
+    def test_salvage_returns_intact_prefix(self, tmp_path):
+        path, total = _record_pattern_trace(tmp_path)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) - 9])  # clip the final record
+        trace = Trace.load(path, salvage=True)
+        assert len(trace) == total - 1
+        assert trace.corruption is not None
+        assert trace.corruption.events_recovered == total - 1
+
+    def test_truncated_gzip_stream(self, tmp_path):
+        path, total = _record_pattern_trace(tmp_path, suffix=".gz")
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+        with pytest.raises(TraceCorruptionError):
+            Trace.load(path)
+        trace = Trace.load(path, salvage=True)
+        assert 0 < len(trace) < total
+        assert trace.corruption is not None
+
+    def test_intact_trace_has_no_corruption(self, tmp_path):
+        path, total = _record_pattern_trace(tmp_path)
+        trace = Trace.load(path)
+        assert len(trace) == total
+        assert trace.corruption is None
+
+
+class TestMetadataPressure:
+    """A finite metadata table degrades recall, never soundness."""
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigError):
+            IGuardConfig(metadata_max_entries=0)
+        assert IGuardConfig(metadata_max_entries=8).metadata_max_entries == 8
+
+    def test_race_free_pattern_stays_race_free_under_pressure(self):
+        pattern = get_pattern("barrier-handoff")
+        for cap, evicts in ((1, True), (2, True), (8, False)):
+            sites, tool = _races_of(
+                pattern, 1, config=IGuardConfig(metadata_max_entries=cap)
+            )
+            assert sites == {}, f"cap {cap} invented a race"
+            assert (tool.table.evictions > 0) is evicts
+
+    def test_pressure_only_loses_races_never_invents(self):
+        workload = get_workload("graph-color")
+        uncapped = run_workload(workload, IGuard, seeds=(1,))
+        capped = run_workload(
+            workload,
+            lambda: IGuard(IGuardConfig(metadata_max_entries=4)),
+            seeds=(1,),
+        )
+        full = set(uncapped.race_sites)
+        assert set(capped.race_sites) <= full
+        assert full  # the racy workload actually races
+
+    def test_eviction_counter_matches_table_pressure(self):
+        from repro.core.metadata import MetadataTable
+
+        table = MetadataTable(max_entries=2)
+        for granule in range(5):
+            table.lookup_granule(granule)
+        assert len(table) == 2
+        assert table.evictions == 3
+        # Re-touching a resident granule neither grows nor evicts.
+        table.lookup_granule(4)
+        assert table.evictions == 3
+
+
+class TestValidateSchemaErrors:
+    def _main(self, *argv):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "validate_schema",
+            os.path.join(
+                os.path.dirname(__file__), "..", "benchmarks",
+                "validate_schema.py",
+            ),
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main(list(argv))
+
+    def test_missing_instance_is_structured_error(self, tmp_path, capsys):
+        schema = tmp_path / "schema.json"
+        schema.write_text('{"type": "object"}')
+        rc = self._main(str(schema), str(tmp_path / "nope.json"))
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "ERROR: cannot read instance" in err
+        assert "Traceback" not in err
+
+    def test_unparseable_schema_is_structured_error(self, tmp_path, capsys):
+        schema = tmp_path / "schema.json"
+        schema.write_text("{not json")
+        instance = tmp_path / "instance.json"
+        instance.write_text("{}")
+        rc = self._main(str(schema), str(instance))
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "is not valid JSON" in err
