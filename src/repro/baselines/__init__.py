@@ -8,6 +8,10 @@
 - :mod:`repro.baselines.curd` — CURD (PLDI'18): Barracuda plus a cheap
   compiler-directed fast path for kernels that use *only* threadblock
   barriers; falls back to Barracuda for everything else.
+- :mod:`repro.baselines.fasttrack` — an idealized ITS-aware FastTrack
+  (PLDI'09) oracle over the same happens-before engine, with Barracuda's
+  tool-policy limitations (lockstep assumption, scoped-atomic abort,
+  memory reservation, event budget) removed.
 - ScoRD (ISCA'20) is iGUARD's own detection logic minus ITS and lockset in
   dedicated hardware; it is reproduced as a configuration of the detector
   (:meth:`repro.core.config.IGuardConfig.scord_mode`) with a hardware-like
@@ -16,6 +20,7 @@
 
 from repro.baselines.barracuda import Barracuda
 from repro.baselines.curd import CURD
+from repro.baselines.fasttrack import FastTrack
 from repro.baselines.scord import ScoRD
 
-__all__ = ["Barracuda", "CURD", "ScoRD"]
+__all__ = ["Barracuda", "CURD", "FastTrack", "ScoRD"]

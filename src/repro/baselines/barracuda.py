@@ -17,20 +17,27 @@ is exactly what iGUARD's evaluation contrasts against:
 - large event streams (e.g. Kilo-TM's ``interac`` with its spin loops)
   exhaust the processing budget: the run "does not terminate".
 
-The happens-before engine is FastTrack-style: per-thread vector clocks,
-per-address write epoch + read epoch/VC, release/acquire edges through
-(fence, atomic) pairs, and barrier joins at each ``syncthreads``.
+The happens-before engine itself — FastTrack-style per-thread vector
+clocks, per-address write epoch + read epoch/VC, release/acquire edges
+through (fence, atomic) pairs, barrier joins at each ``syncthreads`` —
+lives in :class:`repro.core.engine.HBCore`; this class is the Tool
+adapter that owns Barracuda's *tool* behaviours (event costing, the
+processing budget, the memory reservation, the unsupported-feature
+aborts) and feeds the core(s).  Like :class:`repro.core.detector.IGuard`
+it shards by routing key: memory accesses route to the shard owning
+their address, atomics (release/acquire synchronization) and sync events
+apply once to the happens-before state all shards share.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.baselines.vectorclock import AccessHistory, VectorClock
-from repro.core.report import RaceLog, RaceRecord, RaceType
-from repro.errors import OutOfMemoryError, TimeoutError_, UnsupportedFeatureError
-from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
+from repro.core.engine import HBCore, HBSyncState
+from repro.core.report import RaceLog
+from repro.errors import ConfigError, OutOfMemoryError, TimeoutError_, UnsupportedFeatureError
+from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent
 from repro.gpu.instructions import Scope
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category
@@ -55,23 +62,6 @@ class BarracudaCosts:
     cpu_per_event: float = 24.0
 
 
-@dataclass
-class _ThreadState:
-    """Per-thread vector clock plus pending release snapshots."""
-
-    vc: VectorClock = field(default_factory=VectorClock)
-    release_dev: Optional[VectorClock] = None
-    release_blk: Optional[VectorClock] = None
-
-
-@dataclass
-class _LocationSync:
-    """Release clocks carried by an atomic location."""
-
-    dev: VectorClock = field(default_factory=VectorClock)
-    blk: Dict[int, VectorClock] = field(default_factory=dict)
-
-
 class Barracuda(Tool):
     """The Barracuda baseline as an instrumentation tool."""
 
@@ -81,22 +71,56 @@ class Barracuda(Tool):
     #: Extra device memory Barracuda needs per byte of application
     #: footprint (shadow/log space), on top of the fixed reservation.
     SHADOW_FACTOR = 0.6
+    #: HBCore configuration of this backend (see the core's docstring).
+    ITS_SUPPORT = False
+    SAME_WARP_ORDERED = True
 
     def __init__(
         self,
         costs: BarracudaCosts = BarracudaCosts(),
         event_budget: int = 12_000,
+        shards: Optional[int] = None,
     ):
         self.costs = costs
         self.event_budget = event_budget
+        if shards is None:
+            from repro.core.sharding import default_shards
+
+            shards = default_shards()
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
         self.device = None
         self.races = RaceLog(capacity=16_384)
         self.events_processed = 0
         self.gave_up = False
-        self._threads: Dict[int, _ThreadState] = {}
-        self._histories: Dict[int, AccessHistory] = {}
-        self._locations: Dict[int, _LocationSync] = {}
+        self.sync = HBSyncState()
+        self.cores: List[HBCore] = [
+            HBCore(
+                its=self.ITS_SUPPORT,
+                same_warp_ordered=self.SAME_WARP_ORDERED,
+                sync=self.sync,
+                shard_id=i,
+            )
+            for i in range(shards)
+        ]
+        for core in self.cores:
+            core.report_sink = self._report_sink
         self._launch: Optional[LaunchInfo] = None
+
+    # ------------------------------------------------------------------
+    # Delegation / report plumbing
+    # ------------------------------------------------------------------
+
+    def _report_sink(self, record, md) -> bool:
+        return self.races.report(record)
+
+    def _shard_of(self, address: int) -> int:
+        if self.shards == 1:
+            return 0
+        from repro.core.sharding import shard_of
+
+        return shard_of(address, self.shards)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -126,16 +150,19 @@ class Barracuda(Tool):
 
     def on_launch_begin(self, launch: LaunchInfo) -> None:
         self._launch = launch
-        self._threads = {}
-        self._histories = {}
-        self._locations = {}
         self.events_processed = 0
         self.gave_up = False
+        self.sync = HBSyncState()
+        for core in self.cores:
+            core.rebind_sync(self.sync)
+            core.begin_launch(launch)
         launch.timing.charge(
             Category.NVBIT, self.costs.recompile_fixed, serial=True
         )
 
     def on_launch_end(self, launch: LaunchInfo) -> None:
+        for core in self.cores:
+            core.finish_launch(launch)
         self.races.flush()
         launch.timing.charge(
             Category.NVBIT,
@@ -144,6 +171,8 @@ class Barracuda(Tool):
         )
 
     def on_timeout(self, launch: LaunchInfo) -> None:
+        for core in self.cores:
+            core.finish_launch(launch)
         self.races.flush()
 
     # ------------------------------------------------------------------
@@ -167,65 +196,17 @@ class Barracuda(Tool):
                 f"{self.event_budget} events on {launch.kernel_name!r}"
             )
 
-    def _thread(self, tid: int) -> _ThreadState:
-        state = self._threads.get(tid)
-        if state is None:
-            state = _ThreadState()
-            state.vc.bump(tid)
-            self._threads[tid] = state
-        return state
-
     # ------------------------------------------------------------------
-    # Synchronization events
+    # Event dispatch
     # ------------------------------------------------------------------
 
     def on_sync(self, event: SyncEvent, launch: LaunchInfo) -> None:
         self._charge_event(launch)
-        if event.kind is SyncKind.SYNCTHREADS:
-            self._barrier_join(event.where.block_id, launch)
-        elif event.kind is SyncKind.SYNCWARP:
-            # No ITS support: warp barriers are not modeled (lockstep is
-            # assumed for whole warps instead).
-            pass
-        elif event.kind is SyncKind.FENCE:
-            # CUDA fence semantics are per-thread: "the effect of a
-            # threadfence is limited to writes of the calling thread only"
-            # (section 7.1) — a fence does NOT transitively publish writes
-            # the thread merely observed through a barrier.  The release
-            # snapshot therefore carries only the calling thread's own
-            # epoch, which is how Barracuda catches the leader-only-fence
-            # grid-barrier bug.
-            tid = event.where.global_tid
-            state = self._thread(tid)
-            snapshot = VectorClock({tid: state.vc.get(tid)})
-            if event.scope.effective is Scope.DEVICE:
-                state.release_dev = snapshot
-                state.release_blk = snapshot
-            else:
-                state.release_blk = snapshot
-            state.vc.bump(tid)
-
-    def _barrier_join(self, block_id: int, launch: LaunchInfo) -> None:
-        """syncthreads: join the clocks of every thread in the block."""
-        base = block_id * launch.block_dim
-        tids = range(base, base + launch.block_dim)
-        joined = VectorClock()
-        for tid in tids:
-            joined.join(self._thread(tid).vc)
-        for tid in tids:
-            state = self._thread(tid)
-            state.vc = joined.copy()
-            state.vc.bump(tid)
-
-    # ------------------------------------------------------------------
-    # Memory events
-    # ------------------------------------------------------------------
+        self._sync_barrier()
+        self.cores[0].apply_sync(event, launch)
 
     def on_memory(self, event: MemoryEvent, launch: LaunchInfo) -> None:
         self._charge_event(launch)
-        where = event.where
-        tid = where.global_tid
-        state = self._thread(tid)
 
         if event.kind is AccessKind.ATOMIC:
             if event.scope.effective is Scope.BLOCK:
@@ -233,86 +214,20 @@ class Barracuda(Tool):
                     "Barracuda does not support scoped atomic operations "
                     f"(block-scope atomic at {event.ip})"
                 )
-            self._atomic_sync(event, state)
+            # Atomics are release/acquire synchronization: they mutate the
+            # shared happens-before state, so batched drivers drain first.
+            self._sync_barrier()
+            self.cores[0].atomic_sync(event)
             return
 
-        history = self._histories.get(event.address)
-        if history is None:
-            history = AccessHistory()
-            self._histories[event.address] = history
+        self._dispatch(self._shard_of(event.address), event, launch)
 
-        clock = state.vc.get(tid)
-        if event.kind is AccessKind.LOAD:
-            self._check_read(event, state, history, launch)
-            history.record_read(tid, clock, where.warp_id, state.vc)
-        else:
-            self._check_write(event, state, history, launch)
-            history.record_write(tid, clock, where.warp_id)
+    def _dispatch(self, shard: int, event: MemoryEvent, launch: LaunchInfo) -> None:
+        """Run the routed check now.  Batched drivers override to queue."""
+        self.cores[shard].check_memory(event, event.address, launch)
 
-    def _atomic_sync(self, event: MemoryEvent, state: _ThreadState) -> None:
-        """Atomics are synchronization: release-acquire through the location."""
-        where = event.where
-        location = self._locations.get(event.address)
-        if location is None:
-            location = _LocationSync()
-            self._locations[event.address] = location
-        # Acquire: the atomic reads the location, picking up releases.
-        state.vc.join(location.dev)
-        blk = location.blk.get(where.block_id)
-        if blk is not None:
-            state.vc.join(blk)
-        # Release: a fence executed earlier publishes writes through this
-        # atomic.  Without a prior fence nothing is released — which is
-        # how Barracuda catches missing-threadfence races.
-        if state.release_dev is not None:
-            location.dev.join(state.release_dev)
-        if state.release_blk is not None:
-            location.blk.setdefault(where.block_id, VectorClock()).join(
-                state.release_blk
-            )
-
-    def _check_read(self, event, state, history: AccessHistory, launch) -> None:
-        w = history.write_epoch
-        if w is None:
-            return
-        if history.write_warp == event.where.warp_id:
-            return  # lockstep assumption: same-warp accesses are ordered
-        if not state.vc.dominates_epoch(w):
-            self._report(event, launch)
-
-    def _check_write(self, event, state, history: AccessHistory, launch) -> None:
-        warp = event.where.warp_id
-        w = history.write_epoch
-        if (
-            w is not None
-            and history.write_warp != warp
-            and not state.vc.dominates_epoch(w)
-        ):
-            self._report(event, launch)
-            return
-        for _tid, _clock, read_warp in history.concurrent_readers(state.vc):
-            if read_warp != warp:
-                self._report(event, launch)
-                return
-
-    def _report(self, event: MemoryEvent, launch: LaunchInfo) -> None:
-        where = event.where
-        # Barracuda does not classify races by GPU-specific cause; records
-        # are tagged with the generic device-level race type.
-        record = RaceRecord(
-            race_type=RaceType.INTER_BLOCK,
-            kernel=launch.kernel_name,
-            ip=event.ip,
-            access=event.kind.value,
-            address=event.address,
-            location=launch.device.memory.describe(event.address),
-            warp_id=where.warp_id,
-            lane=where.lane,
-            block_id=where.block_id,
-            prev_warp_id=-1,
-            prev_lane=-1,
-        )
-        self.races.report(record)
+    def _sync_barrier(self) -> None:
+        """Quiesce shard queues before a sync-state mutation (see IGuard)."""
 
     # ------------------------------------------------------------------
 

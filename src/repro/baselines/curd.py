@@ -38,8 +38,13 @@ class CURD(Barracuda):
 
     name = "CURD"
 
-    def __init__(self, costs: CURDCosts = CURDCosts(), event_budget: int = 12_000):
-        super().__init__(costs=costs, event_budget=event_budget)
+    def __init__(
+        self,
+        costs: CURDCosts = CURDCosts(),
+        event_budget: int = 12_000,
+        shards=None,
+    ):
+        super().__init__(costs=costs, event_budget=event_budget, shards=shards)
         self.fallback = False
         self._fast_path_events = 0
 

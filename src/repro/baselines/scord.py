@@ -46,9 +46,10 @@ class ScoRD(IGuard):
 
     name = "ScoRD"
 
-    def __init__(self, config: IGuardConfig = DEFAULT_CONFIG):
+    def __init__(self, config: IGuardConfig = DEFAULT_CONFIG, shards=None):
         super().__init__(
             config=config.scord_mode(),
             costs=SCORD_COSTS,
             contention_params=SCORD_CONTENTION,
+            shards=shards,
         )

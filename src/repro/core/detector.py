@@ -8,6 +8,19 @@ lock tables.  Everything happens inline with (simulated) kernel execution
 — there is no CPU-side pass — so detection work is charged as *parallel*
 cycles, and only genuine metadata-lock contention is serialized.
 
+Since the engine extraction, this class is a thin **adapter**: the Table 2
+state machine itself lives in :class:`repro.core.engine.IGuardCore`, and
+``IGuard`` keeps only what is *not* detection state — cycle charging, UVM
+residency, metadata-lock contention, coalescing, per-launch statistics,
+and the Tool lifecycle.  The adapter drives one core per shard
+(``shards=1`` by default): memory events route to the shard owning their
+granule, synchronization events and lock-inferring atomics apply once to
+the shared synchronization state every core reads.  Because the adapter
+feeds shards inline, in serial event order, a sharded run is byte-for-byte
+identical to a serial one — races, types, stats, and cycle breakdowns —
+for any shard count (see :mod:`repro.core.sharding` for the router and
+the batched/process-pool drivers built on the same cores).
+
 Performance features from the paper, all modeled:
 
 - NVBit-style one-time binary analysis cost per kernel (Figure 13 "NVBit");
@@ -33,69 +46,24 @@ reproduction's wall-clock time changes.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.checks import CurrentAccess, preliminary_checks, race_checks, select_md
-from repro.core.metadata import AccessorView
+# Re-exported for compatibility: these historically lived here and are
+# imported by the baselines and experiment harnesses.
+from repro.core.engine import DetectorCosts, IGuardCore, LaunchStats
 from repro.core.config import DEFAULT_CONFIG, IGuardConfig
 from repro.core.contention import ContentionModel, ContentionParams
-from repro.core.metadata import MetadataTable
-from repro.core.report import RaceLog, RaceRecord
+from repro.core.report import RaceLog
 from repro.core.syncstate import SyncMetadata
 from repro.core.uvm import ManagedMetadataSpace, UVMParams
-from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
-from repro.gpu.instructions import AtomicOp, Scope
+from repro.errors import ConfigError
+from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent
+from repro.gpu.instructions import AtomicOp
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category
 from repro.obs.metrics import HOT
 
-
-@dataclass(frozen=True)
-class DetectorCosts:
-    """Cycle constants for the detector's own runtime (calibrated)."""
-
-    #: Host-side costs (binary analysis, metadata setup, kernel loading)
-    #: are constant per *application* on real hardware, where kernels run
-    #: ~10^3x longer than this simulation's.  To keep their share of
-    #: total runtime where Figure 13 puts it, they are charged as a
-    #: fraction of each launch's native duration plus a small constant.
-    nvbit_fixed: float = 20.0
-    nvbit_fraction: float = 0.9
-    nvbit_per_instruction: float = 0.1
-    setup_fixed: float = 8.0
-    setup_fraction: float = 0.25
-    misc_fixed: float = 5.0
-    misc_fraction: float = 0.1
-    #: Trampoline cost of one injected instrumentation call.
-    instrument_per_event: float = 4.0
-    #: Metadata read + two-tier checks + writeback for one access.
-    check_per_access: float = 14.0
-    #: Handling one synchronization operation.
-    sync_per_event: float = 6.0
-    #: Cost of a coalesced (skipped) access: the warp intrinsics used to
-    #: agree on a representative thread.
-    coalesced_skip: float = 1.0
-
-
-@dataclass
-class LaunchStats:
-    """Per-launch detector statistics, for tests and experiments."""
-
-    kernel: str = ""
-    accesses_checked: int = 0
-    accesses_coalesced: int = 0
-    #: Checked accesses whose Table 2 outcome was replayed from the
-    #: same-epoch elision cache instead of re-derived (a subset of
-    #: ``accesses_checked``; cycle charges are identical either way).
-    accesses_elided: int = 0
-    preliminary_pass: Dict[str, int] = field(default_factory=dict)
-    races_reported: int = 0
-    contention_cycles: float = 0.0
-    uvm_faults: int = 0
-    uvm_prefaulted_pages: int = 0
-    metadata_entries: int = 0
+__all__ = ["DetectorCosts", "LaunchStats", "IGuard"]
 
 
 class IGuard(Tool):
@@ -108,6 +76,12 @@ class IGuard(Tool):
         ... allocate, launch kernels ...
         for race in detector.races.sites():
             print(race)
+
+    ``shards`` splits the per-granule detection state across N
+    :class:`~repro.core.engine.IGuardCore` instances sharing one
+    synchronization state; results are identical for every value.  The
+    default consults :func:`repro.core.sharding.default_shards` (the
+    ``IGUARD_SHARDS`` environment variable, else 1).
     """
 
     name = "iGUARD"
@@ -118,6 +92,7 @@ class IGuard(Tool):
         costs: Optional[DetectorCosts] = None,
         contention_params: Optional[ContentionParams] = None,
         uvm_params: Optional[UVMParams] = None,
+        shards: Optional[int] = None,
     ):
         # Per-instance factories, not def-time defaults: a default built
         # at function definition would be one shared instance across every
@@ -130,38 +105,77 @@ class IGuard(Tool):
             else ContentionParams()
         )
         self.uvm_params = uvm_params if uvm_params is not None else UVMParams()
+        if shards is None:
+            from repro.core.sharding import default_shards
+
+            shards = default_shards()
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and config.metadata_max_entries is not None:
+            raise ConfigError(
+                "sharding partitions the metadata table; a global "
+                "metadata_max_entries eviction cap cannot be enforced "
+                "coherently across shards (use shards=1)"
+            )
+        self.shards = shards
         self.device = None
         self.races = RaceLog(capacity=config.race_buffer_capacity)
-        self.table = MetadataTable(
-            config.granularity_bytes,
-            config.metadata_entry_bytes,
-            max_entries=config.metadata_max_entries,
-        )
         self.sync = SyncMetadata(config.lock_table_entries)
+        self.cores: List[IGuardCore] = [
+            IGuardCore(config, self.costs, sync=self.sync, shard_id=i)
+            for i in range(shards)
+        ]
+        for core in self.cores:
+            core.report_sink = self._report_sink
         self.stats: List[LaunchStats] = []
         self._launch: Optional[LaunchInfo] = None
         self._contention: Optional[ContentionModel] = None
         self._uvm: Optional[ManagedMetadataSpace] = None
         self._current: Optional[LaunchStats] = None
         self._coalesce_key: Optional[Tuple[int, int]] = None
-        #: Section 6.7 ablation state: per-granule history of the last N
-        #: accessors (beyond the single packed metadata entry).
-        self._history: Dict[int, Deque] = {}
-        #: Same-epoch elision cache: granule -> (signature, preliminary
-        #: label, post-writeback accessor word, post-writeback writer
-        #: word).  Disabled under the accessor-history ablation, whose
-        #: extra per-access history checks charge extra cycles that a
-        #: replayed outcome could not reproduce.
-        self._elide: Dict[int, Tuple] = {}
-        self._fast_path = config.fast_path and config.accessor_history == 1
-        #: Optional forensic probe (repro.obs.forensics.ForensicProbe).
-        #: Hooks fire only when set: normal runs pay one ``is not None``
-        #: test per event.
-        self.probe = None
-        #: Ground-truth lock hashes of the last writer per granule, kept
-        #: only while metrics are enabled, to count 16-bit Bloom filter
-        #: false positives (filters intersect, true lock sets disjoint).
-        self._writer_lock_truth: Dict[int, frozenset] = {}
+        self._probe = None
+        #: Per-shard routed-event counts for the current launch (HOT
+        #: imbalance accounting; reset each launch).
+        self._shard_routed: List[int] = [0] * shards
+
+    # ------------------------------------------------------------------
+    # Delegation: the detection state lives on the cores
+    # ------------------------------------------------------------------
+
+    @property
+    def table(self):
+        """The metadata table (of shard 0 when sharded)."""
+        return self.cores[0].table
+
+    @property
+    def probe(self):
+        """Forensic probe, forwarded to every core."""
+        return self._probe
+
+    @probe.setter
+    def probe(self, probe) -> None:
+        self._probe = probe
+        for core in self.cores:
+            core.probe = probe
+
+    def _report_sink(self, record, md) -> bool:
+        """Shared race log across all shards, preserving serial order.
+
+        Cores run inline in event order, so records arrive here exactly
+        when serial detection would have produced them.
+        """
+        if self.races.report(record):
+            if self._current is not None:
+                self._current.races_reported += 1
+            return True
+        return False
+
+    def _shard_of(self, granule: int) -> int:
+        if self.shards == 1:
+            return 0
+        from repro.core.sharding import shard_of
+
+        return shard_of(granule, self.shards)
 
     # ------------------------------------------------------------------
     # Tool lifecycle
@@ -175,17 +189,18 @@ class IGuard(Tool):
         self._coalesce_key = None
         self._current = LaunchStats(kernel=launch.kernel_name)
         self.stats.append(self._current)
+        self._shard_routed = [0] * self.shards
 
         # Fresh synchronization metadata per kernel: counters describe the
-        # *running* kernel's threads.  Memory metadata is also reset — the
-        # implicit barrier at kernel completion orders everything, so stale
-        # entries could only cause false positives.
+        # *running* kernel's threads.  The adapter owns the (shared) sync
+        # state; every core is rebound to the new instance.  Memory
+        # metadata resets inside each core — the implicit barrier at kernel
+        # completion orders everything, so stale entries could only cause
+        # false positives.
         self.sync = SyncMetadata(self.config.lock_table_entries)
-        self._elide.clear()
-        self._writer_lock_truth.clear()
-        if self.config.reset_metadata_per_kernel:
-            self.table.clear()
-            self._history.clear()
+        for core in self.cores:
+            core.rebind_sync(self.sync)
+            core.begin_launch(launch)
 
         # NVBit binary analysis and injection (the duration-proportional
         # share is charged at launch end, once native time is known).
@@ -238,6 +253,8 @@ class IGuard(Tool):
         self._finish(launch)
 
     def _finish(self, launch: LaunchInfo) -> None:
+        for core in self.cores:
+            core.finish_launch(launch)
         self.races.flush()
         # Duration-proportional host-side shares (see DetectorCosts).
         native = launch.timing.native_time
@@ -255,7 +272,20 @@ class IGuard(Tool):
                 self._contention.serialized_cycles if self._contention else 0.0
             )
             self._current.uvm_faults = self._uvm.faults if self._uvm else 0
-            self._current.metadata_entries = len(self.table)
+            self._current.metadata_entries = sum(
+                len(core.table) for core in self.cores
+            )
+        if HOT.enabled and self.shards > 1:
+            routed = self._shard_routed
+            total = sum(routed)
+            for depth in routed:
+                HOT.shard_queue_depth.observe(depth)
+            if total:
+                # Imbalance: the hottest shard's load relative to perfect
+                # balance (1.0 = perfectly even).
+                HOT.shard_imbalance.set(
+                    max(routed) * self.shards / total
+                )
 
     # ------------------------------------------------------------------
     # Synchronization operations
@@ -266,27 +296,11 @@ class IGuard(Tool):
             Category.INSTRUMENTATION, self.costs.instrument_per_event
         )
         launch.timing.charge(Category.DETECTION, self.costs.sync_per_event)
-        where = event.where
-        if event.kind is SyncKind.SYNCTHREADS:
-            self.sync.on_syncthreads(where.block_id)
-        elif event.kind is SyncKind.SYNCWARP:
-            self.sync.on_syncwarp(where.warp_id)
-        elif event.kind is SyncKind.FENCE:
-            thread = where.thread_key
-            self.sync.on_fence(thread, event.scope)
-            # A fence completes pending lock acquires (activateLocks).
-            table = self.sync.lock_table_for(where.warp_id, thread)
-            activated = table.activate(event.scope)
-            if activated:
-                if HOT.enabled:
-                    HOT.lock_activations.inc(activated)
-                if self.probe is not None:
-                    self.probe.on_lock(
-                        "fence-activate", event,
-                        f"{activated} lock(s), {event.scope.name.lower()} fence",
-                    )
-        if self.probe is not None:
-            self.probe.on_sync(event)
+        self._sync_barrier()
+        # One application mutates the shared sync state every core reads.
+        if HOT.enabled and self.shards > 1:
+            HOT.shard_broadcast.inc()
+        self.cores[0].apply_sync(event, launch)
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -298,8 +312,14 @@ class IGuard(Tool):
         )
 
         # Lock inference precedes race checking (Figure 6's orange boxes).
+        # CAS/EXCH mutate the shared lock tables (and bump the epoch), so
+        # in batched modes all shard queues must drain first.
         if event.kind is AccessKind.ATOMIC:
-            self._infer_locks(event)
+            if event.atomic_op in (AtomicOp.CAS, AtomicOp.EXCH):
+                self._sync_barrier()
+                if HOT.enabled and self.shards > 1:
+                    HOT.shard_broadcast.inc()
+            self.cores[0].infer_locks(event)
 
         # Opportunistic coalescing: active threads of one warp loading (or
         # atomically updating) the same location cannot race with each
@@ -309,7 +329,7 @@ class IGuard(Tool):
         # implementation's warp match runs on the *metadata* address, so
         # converged lanes touching different bytes of one granule coalesce
         # into a single check of that granule's entry.
-        granule = self.table.granule_of(event.address)
+        granule = self.cores[0].table.granule_of(event.address)
         if self.config.coalescing and event.kind in (
             AccessKind.LOAD,
             AccessKind.ATOMIC,
@@ -327,75 +347,23 @@ class IGuard(Tool):
         else:
             self._coalesce_key = None
 
-        self._check_and_update(event, granule, launch)
-
-    # -- lock inference -----------------------------------------------------
-
-    def _infer_locks(self, event: MemoryEvent) -> None:
-        where = event.where
-        thread = where.thread_key
-        if event.atomic_op is AtomicOp.CAS:
-            if not self.config.infer_lock_on_failed_cas and not event.cas_succeeded:
-                return
-            warp_table = self.sync.warp_lock_table(where.warp_id)
-            # More than one thread of the warp CASing together means the
-            # kernel uses per-thread locks; the isThread bit is sticky.
-            if len(event.active_mask) > 1:
-                if not warp_table.is_thread and self.probe is not None:
-                    self.probe.on_lock(
-                        "infer-per-thread", event,
-                        f"{len(event.active_mask)} lanes CAS together",
-                    )
-                warp_table.is_thread = True
-            table = self.sync.lock_table_for(where.warp_id, thread)
-            inserted = table.insert(event.address, event.scope)
-            if HOT.enabled:
-                HOT.lock_inserts.inc()
-                if not inserted:
-                    HOT.lock_evictions.inc()
-            if self.probe is not None:
-                self.probe.on_lock(
-                    "cas-acquire" if inserted else "cas-overflow", event,
-                    f"lock 0x{event.address:x}, {event.scope.name.lower()} scope",
-                )
-            self.sync.epoch += 1
-        elif event.atomic_op is AtomicOp.EXCH:
-            table = self.sync.lock_table_for(where.warp_id, thread)
-            released = table.release(event.address, event.scope)
-            if HOT.enabled and released:
-                HOT.lock_releases.inc()
-            if self.probe is not None:
-                self.probe.on_lock(
-                    "exch-release" if released else "exch-unmatched", event,
-                    f"lock 0x{event.address:x}",
-                )
-            self.sync.epoch += 1
-
-    # -- race detection -------------------------------------------------------
-
-    def _check_and_update(
-        self, event: MemoryEvent, granule: int, launch: LaunchInfo
-    ) -> None:
-        config = self.config
-        where = event.where
-        thread = where.thread_key
-        self._current.accesses_checked += 1
-        if HOT.enabled:
-            HOT.detector_checked.inc()
-
         # Metadata residency (UVM) and entry-lock contention, both serial.
         # These run before any elision decision: both models are stateful,
         # and their charges (like ``check_per_access`` below) must land
         # identically whether or not the Table 2 re-check is elided.
-        if config.use_uvm and self._uvm is not None:
-            fault_cost = self._uvm.access(granule * config.metadata_entry_bytes)
+        if self.config.use_uvm and self._uvm is not None:
+            fault_cost = self._uvm.access(
+                granule * self.config.metadata_entry_bytes
+            )
             if fault_cost:
                 if HOT.enabled:
                     HOT.detector_uvm_faults.inc()
-                launch.timing.charge(Category.DETECTION, fault_cost, serial=True)
+                launch.timing.charge(
+                    Category.DETECTION, fault_cost, serial=True
+                )
         if self._contention is not None:
             stall = self._contention.on_metadata_access(
-                granule, event.batch, where.warp_id
+                granule, event.batch, event.where.warp_id
             )
             if stall:
                 if HOT.enabled:
@@ -404,253 +372,25 @@ class IGuard(Tool):
                 launch.timing.charge(Category.DETECTION, stall, serial=True)
         launch.timing.charge(Category.DETECTION, self.costs.check_per_access)
 
-        entry = self.table.lookup_granule(granule)
-        if self.probe is not None:
-            self.probe.on_check(
-                event, granule, entry.accessor_word, entry.writer_word
-            )
+        shard = self._shard_of(granule)
+        self._shard_routed[shard] += 1
+        if HOT.enabled and self.shards > 1:
+            HOT.shard_routed.inc()
+        self._dispatch(shard, event, granule, launch)
 
-        # Same-epoch fast path: if this thread already ran the full check
-        # against exactly these metadata words with the same access kind,
-        # scope and convergence mask, and no synchronization or lock-table
-        # mutation has happened since (one epoch counter guards them all),
-        # then every input to the Table 2 checks and to the writeback is
-        # unchanged — replay the recorded outcome.  The signature stores
-        # the *pre-check* words, so a granule rewritten by another thread
-        # misses (its words differ) and re-checks.
-        if self._fast_path:
-            sig = (
-                thread,
-                event.kind,
-                event.scope,
-                event.active_mask,
-                self.sync.epoch,
-                entry.accessor_word,
-                entry.writer_word,
-            )
-            cached = self._elide.get(granule)
-            if cached is not None and cached[0] == sig:
-                _, label, post_accessor, post_writer = cached
-                entry.accessor_word = post_accessor
-                entry.writer_word = post_writer
-                self._current.accesses_elided += 1
-                if HOT.enabled:
-                    HOT.detector_elided.inc()
-                if label is not None:
-                    counts = self._current.preliminary_pass
-                    counts[label] = counts.get(label, 0) + 1
-                    if HOT.enabled:
-                        HOT.detector_prelim_pass.inc()
-                if self.probe is not None:
-                    self.probe.on_outcome(
-                        event, granule, label, None,
-                        entry.accessor_word, entry.writer_word,
-                    )
-                return
-        else:
-            sig = None
-
-        tag = self.table.tag_of_granule(granule)
-        wpb = launch.warps_per_block
-
-        locks_bloom = self.sync.lock_table_for(
-            where.warp_id, thread
-        ).locks_bloom_int()
-        curr = CurrentAccess(
-            kind=event.kind,
-            warp_id=where.warp_id,
-            lane=where.lane,
-            block_id=where.block_id,
-            active_mask=event.active_mask,
-            locks_bloom=locks_bloom,
-        )
-
-        # Update the sharing flags from the last accessor before checking
-        # (section 6.2): they encode whether this granule has ever been
-        # shared across warps or threadblocks.
-        if entry.valid:
-            last = entry.last_accessor
-            if last.block_id(wpb) != curr.block_id:
-                entry.set_flag("DevShared", True)
-            elif last.warp_id != curr.warp_id:
-                entry.set_flag("BlkShared", True)
-
-        md = select_md(entry, curr)
-        passed = preliminary_checks(
-            curr, entry, md, self.sync, wpb, its_support=config.its_support
-        )
-        race_type = None
-        if passed is not None:
-            counts = self._current.preliminary_pass
-            counts[passed] = counts.get(passed, 0) + 1
-            if HOT.enabled:
-                HOT.detector_prelim_pass.inc()
-        else:
-            if HOT.enabled:
-                HOT.detector_race_tier.inc()
-            race_type = race_checks(
-                curr,
-                entry,
-                md,
-                self.sync,
-                wpb,
-                its_support=config.its_support,
-                lockset=config.lockset,
-            )
-            if race_type is not None:
-                self._report(race_type, event, md, launch)
-            elif (
-                HOT.enabled
-                and config.lockset
-                and md.locks
-                and (md.locks & locks_bloom)
-            ):
-                # R5 stayed quiet because the 16-bit Bloom summaries
-                # intersect; if the underlying lock-hash sets are in fact
-                # disjoint, that intersection is a filter false positive
-                # (a missed R5 report, the aliasing cost of section 6.3).
-                truth = self._writer_lock_truth.get(granule)
-                if truth is not None and truth.isdisjoint(
-                    self.sync.lock_table_for(
-                        where.warp_id, thread
-                    ).held_hashes()
-                ):
-                    HOT.detector_bloom_fp.inc()
-
-        # Section 6.7 ablation: also compare against older accessors when
-        # a history depth beyond the packed entry is configured.
-        if config.accessor_history > 1:
-            self._check_history(curr, entry, event, granule, launch, wpb)
-
-        self._write_back(entry, tag, curr, event, thread, locks_bloom)
-        if HOT.enabled and event.is_write:
-            self._writer_lock_truth[granule] = frozenset(
-                self.sync.lock_table_for(where.warp_id, thread).held_hashes()
-            )
-        if config.accessor_history > 1:
-            self._record_history(granule, curr, event, thread, locks_bloom)
-
-        # Remember this check for replay.  Racy outcomes are never cached:
-        # race records carry the access's instruction pointer, so a repeat
-        # access from a different program location must re-run the checks
-        # to report its own site.
-        if sig is not None:
-            if race_type is None:
-                self._elide[granule] = (
-                    sig, passed, entry.accessor_word, entry.writer_word
-                )
-            else:
-                self._elide.pop(granule, None)
-
-        if self.probe is not None:
-            self.probe.on_outcome(
-                event, granule, passed, race_type,
-                entry.accessor_word, entry.writer_word,
-            )
-
-    # -- accessor-history ablation (section 6.7) -----------------------------
-
-    def _check_history(self, curr, entry, event, granule, launch, wpb) -> None:
-        """Check the current access against every remembered accessor."""
-        history = self._history.get(granule)
-        if not history:
-            return
-        config = self.config
-        for view, was_write in history:
-            if not (event.is_write or was_write):
-                continue  # two reads cannot race
-            launch.timing.charge(
-                Category.DETECTION, self.costs.check_per_access / 2
-            )
-            passed = preliminary_checks(
-                curr, entry, view, self.sync, wpb,
-                its_support=config.its_support,
-            )
-            if passed is not None:
-                continue
-            race_type = race_checks(
-                curr, entry, view, self.sync, wpb,
-                its_support=config.its_support, lockset=config.lockset,
-            )
-            if race_type is not None:
-                self._report(race_type, event, view, launch)
-
-    def _record_history(self, granule, curr, event, thread, locks_bloom) -> None:
-        history = self._history.get(granule)
-        if history is None:
-            history = deque(maxlen=self.config.accessor_history)
-            self._history[granule] = history
-        view = AccessorView(
-            warp_id=curr.warp_id,
-            lane=curr.lane,
-            dev_fence=self.sync.dev_fence(thread),
-            blk_fence=self.sync.blk_fence(thread),
-            blk_bar=self.sync.blk_bar(curr.block_id),
-            warp_bar=self.sync.warp_bar(curr.warp_id),
-            locks=locks_bloom,
-        )
-        history.append((view, event.is_write))
-
-    def _write_back(
-        self, entry, tag: int, curr: CurrentAccess, event: MemoryEvent,
-        thread, locks_bloom: int,
+    def _dispatch(
+        self, shard: int, event: MemoryEvent, granule: int, launch: LaunchInfo
     ) -> None:
-        """Record the current access into the metadata entry (section 6.2)."""
-        dev_fence = self.sync.dev_fence(thread)
-        blk_fence = self.sync.blk_fence(thread)
-        blk_bar = self.sync.blk_bar(curr.block_id)
-        warp_bar = self.sync.warp_bar(curr.warp_id)
+        """Run the routed check now.  Batched drivers override to queue."""
+        self.cores[shard].check_memory(event, granule, launch, self._current)
 
-        entry.set_accessor(
-            tag=tag,
-            warp_id=curr.warp_id,
-            lane=curr.lane,
-            dev_fence=dev_fence,
-            blk_fence=blk_fence,
-            blk_bar=blk_bar,
-            warp_bar=warp_bar,
-        )
-        if event.is_write:
-            entry.set_writer(
-                warp_id=curr.warp_id,
-                lane=curr.lane,
-                dev_fence=dev_fence,
-                blk_fence=blk_fence,
-                blk_bar=blk_bar,
-                warp_bar=warp_bar,
-                locks=locks_bloom,
-            )
-            entry.set_flag("Modified", True)
-            if event.kind is AccessKind.ATOMIC:
-                entry.set_flag("Atomic", True)
-                entry.set_flag(
-                    "Scope", event.scope.effective is Scope.BLOCK
-                )
-            else:
-                entry.set_flag("Atomic", False)
-                entry.set_flag("Scope", False)
+    def _sync_barrier(self) -> None:
+        """Quiesce shard queues before a sync-state mutation.
 
-    def _report(self, race_type, event: MemoryEvent, md, launch: LaunchInfo) -> None:
-        where = event.where
-        record = RaceRecord(
-            race_type=race_type,
-            kernel=launch.kernel_name,
-            ip=event.ip,
-            access=event.kind.value,
-            address=event.address,
-            location=launch.device.memory.describe(event.address),
-            warp_id=where.warp_id,
-            lane=where.lane,
-            block_id=where.block_id,
-            prev_warp_id=md.warp_id,
-            prev_lane=md.lane,
-        )
-        if HOT.enabled:
-            HOT.detector_races.inc()
-        if self.probe is not None:
-            self.probe.on_race(record, md)
-        if self.races.report(record):
-            self._current.races_reported += 1
+        The inline adapter checks every event immediately, so there is
+        nothing to drain; batched drivers (:mod:`repro.core.sharding`)
+        override this to flush their per-shard run queues.
+        """
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -1,0 +1,518 @@
+"""Sharded detection: partition one trace's checks across detector cores.
+
+iGUARD keys essentially all detector state by address granule — metadata
+words, lock summaries, and the Table 2 checks are per-granule — so the
+check engine partitions cleanly by a hash of each event's *routing key*
+(granule index for :class:`~repro.core.engine.IGuardCore`, byte address
+for :class:`~repro.core.engine.HBCore`).  Only synchronization cuts
+across the partition: barriers, fences, and lock-mutating / release-
+acquire atomics touch state every check reads, so those events are
+**broadcast** — applied once to the synchronization state all shards
+share (in-process) or absorbed by every replica (process pool).
+
+Event routing table (what broadcasts vs routes):
+
+=====================  ==================  ==========================
+event                  IGuardCore          HBCore
+=====================  ==================  ==========================
+load / store           route by granule    route by address
+atomic CAS/EXCH        broadcast + route   broadcast (release/acquire)
+other atomics          route by granule    broadcast (release/acquire)
+syncthreads/syncwarp   broadcast           broadcast
+fence                  broadcast           broadcast
+launch begin/end       broadcast           broadcast
+=====================  ==================  ==========================
+
+Three execution modes, all producing byte-identical race reports:
+
+- **inline** (the default ``--shards N`` path): the Tool adapters route
+  each event to its owning core *immediately*, in serial event order.
+  Identical to serial detection in every observable — races, stats, and
+  cycle breakdowns bit-for-bit — for any shard count.
+- **batched** (:class:`BatchShardedIGuard`): routed events queue per
+  shard and drain through the cores' tight ``check_run`` loops at every
+  sync-mutation boundary; shard-local race records are re-sorted into
+  serial order (:func:`repro.core.report.merge_race_records`) at launch
+  end.  Used by :func:`replay_trace_sharded`, the fast replay driver
+  behind the bench's shard-scaling measurement.
+- **process pool** (``mode="processpool"`` of
+  :func:`replay_workload_sharded`): one replica per shard replays the
+  whole trace in a worker process, absorbing broadcasts against its own
+  replicated sync state and checking only its shard's events; records
+  merge deterministically in the parent.  Composes with the suite
+  runner's ``--workers`` cell parallelism — inside an already-parallel
+  (daemonic) worker the pool falls back to inline execution, same
+  results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import DEFAULT_CONFIG, IGuardConfig
+from repro.core.detector import IGuard
+from repro.core.report import RaceRecord, merge_race_records
+from repro.errors import OutOfMemoryError, TimeoutError_, UnsupportedFeatureError
+from repro.gpu.events import (
+    AccessKind,
+    AllocEvent,
+    KernelEndEvent,
+    LaunchEvent,
+    MemoryEvent,
+    SyncEvent,
+)
+from repro.gpu.instructions import AtomicOp
+from repro.instrument.nvbit import LaunchInfo
+from repro.instrument.timing import Category, TimingBreakdown
+from repro.obs.metrics import HOT
+
+#: Process-wide default shard count, consulted by every detector adapter
+#: whose ``shards`` argument is None.  The experiment CLIs arm it so one
+#: ``--shards`` flag reaches detectors constructed deep inside workers
+#: (the same pattern the chaos and cell-timeout knobs use).
+ENV_VAR = "IGUARD_SHARDS"
+
+#: Odd 64-bit multiplier (golden-ratio) for the router's hash mix.
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def default_shards() -> int:
+    """The shard count adapters use when none is passed explicitly."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        shards = int(raw)
+    except ValueError:
+        return 1
+    return max(1, shards)
+
+
+def shard_of(key: int, shards: int) -> int:
+    """Deterministic granule/address router: ``key -> [0, shards)``.
+
+    A multiplicative mix rather than ``key % shards``: granule indices
+    arrive in arithmetic progressions (arrays walked with strides), and a
+    bare modulus would send entire strided sweeps to one shard whenever
+    the stride shares a factor with the shard count.
+    """
+    if shards <= 1:
+        return 0
+    return (((key * _MIX) & _MASK) >> 17) % shards
+
+
+# ---------------------------------------------------------------------------
+# Batched in-process driver
+# ---------------------------------------------------------------------------
+
+
+class BatchShardedIGuard(IGuard):
+    """iGUARD with per-shard queues drained at sync-mutation boundaries.
+
+    Between two synchronization mutations every routed check depends only
+    on its own granule's state plus the (frozen) sync state, so queueing
+    routed events and draining each shard's queue as one tight
+    ``check_run`` is order-equivalent to interleaved serial checking.
+    Race records surface out of serial order during a drain, so the
+    report sink defers them; the launch-end merge re-sorts into exact
+    serial order before feeding the shared race log (first-record-wins
+    site types depend on it).
+
+    Stats and races are byte-identical to serial; timing breakdowns are
+    identical too (front-end charges stay per-event in stream order).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queues: List[list] = [[] for _ in range(self.shards)]
+        self._deferred: List[RaceRecord] = []
+
+    def _report_sink(self, record, md) -> bool:
+        self._deferred.append(record)
+        return True
+
+    def _dispatch(self, shard, event, granule, launch) -> None:
+        self._queues[shard].append((event, granule))
+
+    def _sync_barrier(self) -> None:
+        launch = self._launch
+        if launch is None:
+            return
+        drained = False
+        stats = self._current
+        for shard, queue in enumerate(self._queues):
+            if queue:
+                drained = True
+                if HOT.enabled:
+                    HOT.shard_queue_depth.observe(len(queue))
+                self.cores[shard].check_run(queue, launch, stats)
+                queue.clear()
+        if drained and HOT.enabled:
+            HOT.shard_flushes.inc()
+
+    def on_launch_begin(self, launch) -> None:
+        super().on_launch_begin(launch)
+        self._queues = [[] for _ in range(self.shards)]
+
+    def _finish(self, launch) -> None:
+        self._sync_barrier()
+        self._merge_deferred()
+        super()._finish(launch)
+
+    def _merge_deferred(self) -> None:
+        """Feed deferred records to the shared log in serial order."""
+        records = self._deferred
+        if not records:
+            return
+        records.sort(key=RaceRecord.serial_sort_key)
+        current = self._current
+        for record in records:
+            if self.races.report(record) and current is not None:
+                current.races_reported += 1
+        self._deferred = []
+
+
+# ---------------------------------------------------------------------------
+# Fast batched replay: the shard-scaling measurement path
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedReplayResult:
+    """Outcome of one :func:`replay_trace_sharded` pass."""
+
+    tool: BatchShardedIGuard
+    events: int  # accesses checked + coalesced (the bench throughput base)
+    seconds: float  # wall-clock spent inside the replay loop
+
+
+def replay_trace_sharded(
+    events,
+    config: IGuardConfig = DEFAULT_CONFIG,
+    shards: int = 4,
+    costs=None,
+) -> ShardedReplayResult:
+    """Replay a captured event stream through the batched sharded engine.
+
+    A purpose-built drain loop, not the event bus: per-event dispatch
+    overhead (bus publish, Tool callback, one ``timing.charge`` per cost
+    category per event) is hoisted out of the hot path and the fixed
+    per-event costs are charged in bulk per launch.  Detection semantics
+    are untouched — the same coalescing filter, lock inference, UVM and
+    contention models run in serial stream order, and every check runs
+    through the same cores — so race reports and stats match the serial
+    pipeline exactly; only the *association order* of float cycle charges
+    differs (bulk sums vs running sums).
+
+    Returns the tool plus the wall-clock seconds of the replay loop, the
+    basis of BENCH_PR6's events/sec-at-N-shards measurement.
+    """
+    from repro.engine.replay import ReplayDevice
+    from repro.gpu.arch import GPUConfig, TITAN_RTX
+    from repro.engine.trace import RunMarker
+    from repro.gpu.device import KernelRun
+
+    events = list(events)
+    gpu_config = next(
+        (e for e in events if isinstance(e, GPUConfig)), TITAN_RTX
+    )
+    device = ReplayDevice(gpu_config)
+    tool = BatchShardedIGuard(config, costs=costs, shards=shards)
+    tool.attach(device)
+
+    checked_events = 0
+    launch: Optional[LaunchInfo] = None
+    instrument = tool.costs.instrument_per_event
+    check_cost = tool.costs.check_per_access
+    sync_cost = tool.costs.sync_per_event
+    coal_cost = tool.costs.coalesced_skip
+
+    # Loop-invariant bindings: every global/attribute the per-event hot
+    # path touches is a local, so the loop body is pure LOAD_FAST.
+    mem_cls, sync_cls = MemoryEvent, SyncEvent
+    launch_cls, end_cls, alloc_cls = LaunchEvent, KernelEndEvent, AllocEvent
+    atomic_kind, load_kind = AccessKind.ATOMIC, AccessKind.LOAD
+    cas_op, exch_op = AtomicOp.CAS, AtomicOp.EXCH
+    multi = shards > 1
+
+    started = time.perf_counter()
+    for event in events:
+        kind = type(event)
+        if kind is mem_cls:
+            # Inlined fast front-end of IGuard.on_memory: bulk-charged
+            # fixed costs, stateful models in stream order.
+            access = event.kind
+            if access is atomic_kind:
+                if event.atomic_op is cas_op or event.atomic_op is exch_op:
+                    sync_barrier()
+                infer_locks(event)
+            granule = granule_of(event.address)
+            if coalescing and (access is load_kind or access is atomic_kind):
+                batch = event.batch
+                if batch == co_batch and granule == co_granule:
+                    n_coalesced += 1
+                    continue
+                co_batch, co_granule = batch, granule
+            else:
+                co_batch = -1
+            if uvm_active:
+                fault_cost = uvm_access(granule * entry_bytes)
+                if fault_cost:
+                    uvm_cycles += fault_cost
+            stall = contention_access(granule, event.batch, event.where.warp_id)
+            if stall:
+                stall_cycles += stall
+            n_checked += 1
+            shard_appends[
+                ((granule * 0x9E3779B97F4A7C15 & _MASK) >> 17) % shards
+                if multi
+                else 0
+            ]((event, granule))
+        elif kind is sync_cls:
+            sync_barrier()
+            apply_sync(event, launch)
+            n_sync += 1
+        elif kind is launch_cls:
+            launch = LaunchInfo(
+                kernel_name=event.kernel_name,
+                grid_dim=event.grid_dim,
+                block_dim=event.block_dim,
+                warp_size=event.warp_size,
+                warps_per_block=event.warps_per_block,
+                num_threads=event.num_threads,
+                timing=TimingBreakdown(parallelism=event.parallelism),
+                device=device,
+                seed=event.seed,
+                static_instruction_count=event.static_instruction_count,
+            )
+            tool.on_launch_begin(launch)
+            # Hoisted loop state for this launch.
+            stats = tool._current
+            shard_appends = [q.append for q in tool._queues]
+            sync_barrier = tool._sync_barrier
+            infer_locks = tool.cores[0].infer_locks
+            apply_sync = tool.cores[0].apply_sync
+            granule_of = tool.cores[0].table.granule_of
+            entry_bytes = config.metadata_entry_bytes
+            coalescing = config.coalescing
+            co_batch = co_granule = -1
+            uvm_active = (
+                config.use_uvm
+                and tool._uvm is not None
+                # Resident prefaulted pages cost nothing and never evict:
+                # the per-access residency walk is skippable wholesale.
+                and not (config.prefault and tool._uvm.fits_entirely)
+            )
+            uvm_access = tool._uvm.access if tool._uvm is not None else None
+            contention_access = tool._contention.on_metadata_access
+            n_checked = n_coalesced = n_sync = 0
+            uvm_cycles = stall_cycles = 0.0
+        elif kind is end_cls:
+            # Bulk charges for the launch's per-event fixed costs, then
+            # the ordinary end-of-launch path (final drain, merge,
+            # duration-proportional host charges).
+            if n_coalesced:
+                stats.accesses_coalesced += n_coalesced
+                if HOT.enabled:
+                    HOT.detector_coalesced.inc(n_coalesced)
+            timing = launch.timing
+            n_events = n_checked + n_coalesced + n_sync
+            if n_events:
+                timing.charge(Category.INSTRUMENTATION, instrument * n_events)
+            if n_checked:
+                timing.charge(Category.DETECTION, check_cost * n_checked)
+            if n_coalesced:
+                timing.charge(Category.DETECTION, coal_cost * n_coalesced)
+            if n_sync:
+                timing.charge(Category.DETECTION, sync_cost * n_sync)
+            if uvm_cycles:
+                timing.charge(Category.DETECTION, uvm_cycles, serial=True)
+            if stall_cycles:
+                timing.charge(Category.DETECTION, stall_cycles, serial=True)
+            timing.charge(Category.NATIVE, event.native_parallel)
+            timing.charge(Category.NATIVE, event.native_serial, serial=True)
+            if event.timed_out:
+                tool.on_timeout(launch)
+            else:
+                tool.on_launch_end(launch)
+            # After the end-of-launch drain, so queued checks are counted.
+            checked_events += stats.accesses_checked + stats.accesses_coalesced
+            device.runs.append(
+                KernelRun(
+                    kernel_name=event.kernel_name,
+                    grid_dim=launch.grid_dim,
+                    block_dim=launch.block_dim,
+                    num_threads=launch.num_threads,
+                    batches=event.batches,
+                    instructions=event.instructions,
+                    timed_out=event.timed_out,
+                    timing=launch.timing,
+                )
+            )
+            launch = None
+        elif kind is alloc_cls:
+            device.memory.restore(event)
+        # GPUConfig headers / RunMarkers carry no detector work.
+    seconds = time.perf_counter() - started
+    return ShardedReplayResult(tool=tool, events=checked_events, seconds=seconds)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool mode: one replica per shard over the whole trace
+# ---------------------------------------------------------------------------
+
+
+class _ShardReplicaIGuard(IGuard):
+    """One shard's view of the trace: full sync replica, filtered checks."""
+
+    def __init__(self, shard_index: int, num_shards: int, config, costs=None):
+        super().__init__(config, costs=costs, shards=1)
+        self._shard_index = shard_index
+        self.shards = num_shards  # routing width; still one local core
+        #: Raw records for the parent's deterministic merge.
+        self.collected: List[RaceRecord] = []
+
+    def _report_sink(self, record, md) -> bool:
+        self.collected.append(record)
+        return True
+
+    def _dispatch(self, shard, event, granule, launch) -> None:
+        if shard == self._shard_index:
+            self.cores[0].check_memory(event, granule, launch, self._current)
+
+
+@dataclass
+class _ShardTask:
+    """Picklable unit of process-pool work: one shard over one seed's run."""
+
+    events: list
+    config: IGuardConfig
+    shard_index: int
+    num_shards: int
+
+
+def _run_shard_task(task: _ShardTask):
+    """Worker trampoline: replay the stream through one shard replica.
+
+    Returns ``(status, detail, records)`` where ``records`` are the
+    shard's raw race records (re-sorted and merged by the parent).
+    """
+    from repro.engine.replay import replay
+
+    tool = _ShardReplicaIGuard(
+        task.shard_index, task.num_shards, task.config
+    )
+    status, detail = "ok", ""
+    try:
+        replay(task.events, tools=[tool])
+    except UnsupportedFeatureError as exc:
+        status, detail = "unsupported", str(exc)
+    except OutOfMemoryError as exc:
+        status, detail = "oom", str(exc)
+    except TimeoutError_ as exc:
+        status, detail = "timeout", str(exc)
+    return status, detail, tool.collected
+
+
+def _in_daemon_worker() -> bool:
+    """Whether nested pools are unavailable (inside a daemonic worker)."""
+    import multiprocessing
+
+    return multiprocessing.current_process().daemon
+
+
+def pool_shard_records(
+    events,
+    config: IGuardConfig = DEFAULT_CONFIG,
+    shards: int = 4,
+    workers: Optional[int] = None,
+) -> Tuple[str, str, List[RaceRecord]]:
+    """Run all shards of one recorded stream, one replica per process.
+
+    Each replica replays the *whole* stream — broadcast events keep its
+    replicated sync state coherent — and checks only the events whose
+    routing key hashes to its shard.  Composes with the suite runner's
+    cell parallelism: inside a daemonic pool worker (where nested pools
+    are impossible) the replicas run inline, bit-identical results.
+
+    Returns the merged ``(status, detail, records)`` in serial order.
+    """
+    from repro.engine.parallel import parallel_map
+
+    tasks = [
+        _ShardTask(
+            events=list(events),
+            config=config,
+            shard_index=index,
+            num_shards=shards,
+        )
+        for index in range(shards)
+    ]
+    if workers is None:
+        workers = shards
+    if _in_daemon_worker():
+        workers = 1
+    results = parallel_map(
+        _run_shard_task,
+        tasks,
+        workers=workers,
+        label=lambda task: f"shard-{task.shard_index}/{task.num_shards}",
+    )
+    status, detail = "ok", ""
+    records: List[RaceRecord] = []
+    for result in results:
+        if result is None:
+            continue
+        shard_status, shard_detail, shard_records = result
+        # A failing tool policy (budget timeout, OOM) trips identically in
+        # every replica — the front-end sees the full stream — so any
+        # shard's failure is the run's failure.
+        if shard_status != "ok" and status == "ok":
+            status, detail = shard_status, shard_detail
+        records.extend(shard_records)
+    records.sort(key=RaceRecord.serial_sort_key)
+    return status, detail, records
+
+
+def replay_workload_sharded(
+    trace,
+    config: IGuardConfig = DEFAULT_CONFIG,
+    shards: int = 4,
+    mode: str = "processpool",
+    workers: Optional[int] = None,
+):
+    """Replay a captured workload trace under process-pool sharding.
+
+    Mirrors :func:`repro.engine.replay.replay_workload`'s per-seed
+    semantics, but fans each seed's stream across shard replicas and
+    merges their records into one :class:`~repro.core.report.RaceLog`
+    per seed (so per-site race types match serial first-record-wins).
+    Returns ``{"status", "detail", "sites"}`` — the timing-free report
+    surface the byte-identity contract covers.
+    """
+    if mode not in ("processpool", "inline"):
+        raise ValueError(f"unknown shard mode {mode!r}")
+    sites = {}
+    status, detail = "ok", ""
+    for _seed, events in trace.runs():
+        run_status, run_detail, records = pool_shard_records(
+            events,
+            config=config,
+            shards=shards,
+            workers=1 if mode == "inline" else workers,
+        )
+        merged = merge_race_records(
+            [records], capacity=config.race_buffer_capacity
+        )
+        for ip, race_type in merged.sites():
+            sites.setdefault(ip, str(race_type))
+        if run_status in ("unsupported", "oom"):
+            return {"status": run_status, "detail": run_detail, "sites": {}}
+        if run_status == "timeout":
+            status, detail = run_status, run_detail
+            break
+    return {"status": status, "detail": detail, "sites": dict(sorted(sites.items()))}

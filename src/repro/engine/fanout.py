@@ -65,11 +65,26 @@ def _sink_outcome(sink: ToolSink, status: str, detail: str) -> SeedOutcome:
     return outcome
 
 
+def _build_tool(factory, shards: Optional[int]):
+    """Instantiate a detector, threading the shard count through.
+
+    With ``shards`` of None the factory is called bare (its own default
+    applies, including the ``IGUARD_SHARDS`` environment variable).  An
+    explicit count requires the factory to accept a ``shards`` keyword —
+    true of every detector class and of
+    :class:`~repro.workloads.runner.DetectorFactory`-style wrappers.
+    """
+    if shards is None:
+        return factory()
+    return factory(shards=shards)
+
+
 def run_workload_fanout(
     workload: Workload,
     tool_factories: Sequence,
     config: GPUConfig = SIM_GPU,
     seeds=None,
+    shards: Optional[int] = None,
 ) -> List[WorkloadResult]:
     """Run ``workload`` once per seed with every detector attached.
 
@@ -77,6 +92,8 @@ def run_workload_fanout(
     in factory order, each equal to what a solo
     :func:`~repro.workloads.runner.run_workload` with that factory would
     have produced (races, statuses, and overhead breakdowns alike).
+    ``shards`` partitions each detector's per-launch check work
+    (byte-identical results for any count).
     """
     seeds = tuple(seeds) if seeds is not None else workload.seeds
     names = [detector_name(factory) for factory in tool_factories]
@@ -95,7 +112,9 @@ def run_workload_fanout(
                 if not is_active:
                     sinks.append(None)
                     continue
-                sinks.append(device.add_sink(ToolSink(factory())))
+                sinks.append(
+                    device.add_sink(ToolSink(_build_tool(factory, shards)))
+                )
             status, detail = "ok", ""
             try:
                 workload.run(device, seed)

@@ -237,6 +237,98 @@ def equivalence_check(workloads) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Shard scaling: events/sec of the in-process sharded replay driver.
+# ---------------------------------------------------------------------------
+
+#: Shard counts the scaling measurement sweeps.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def measure_shard_scaling(
+    workloads,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    repeats: int = 1,
+    seeds_limit: int = 1,
+) -> dict:
+    """Measure replay throughput at each shard count over captured traces.
+
+    ``shards=1`` replays through the standard event-bus pipeline (what a
+    serial run costs today); ``shards>1`` uses
+    :func:`repro.core.sharding.replay_trace_sharded`, the in-process
+    sharded driver whose per-shard queues drain through the tight
+    ``check_run`` loop.  Race sites are compared across all counts — the
+    sharded driver's contract is identical detection output — and the
+    speedup of each count over the 1-shard pipeline is reported.
+    """
+    from repro.core.sharding import replay_trace_sharded
+    from repro.engine.replay import capture_workload, replay
+
+    totals = {n: {"events": 0, "seconds": 0.0} for n in shard_counts}
+    sites_by_count: Dict[int, Dict[str, str]] = {n: {} for n in shard_counts}
+    for workload in workloads:
+        trace = capture_workload(workload)
+        streams = [(seed, list(events)) for seed, events in trace.runs()]
+        if seeds_limit:
+            streams = streams[:seeds_limit]
+        for _seed, events in streams:
+            for count in shard_counts:
+                best: Optional[float] = None
+                cell_events = 0
+                tool = None
+                for _ in range(max(1, repeats)):
+                    if count == 1:
+                        tool = IGuard()
+                        started = time.perf_counter()
+                        replay(events, tools=[tool])
+                        elapsed = time.perf_counter() - started
+                        cell_events = sum(
+                            s.accesses_checked + s.accesses_coalesced
+                            for s in tool.stats
+                        )
+                    else:
+                        sharded = replay_trace_sharded(events, shards=count)
+                        tool = sharded.tool
+                        elapsed = sharded.seconds
+                        cell_events = sharded.events
+                    best = elapsed if best is None else min(best, elapsed)
+                totals[count]["events"] += cell_events
+                totals[count]["seconds"] += best or 0.0
+                for ip, race_type in tool.races.sites():
+                    sites_by_count[count].setdefault(ip, str(race_type))
+
+    reference = sites_by_count[shard_counts[0]]
+    identical = all(sites_by_count[n] == reference for n in shard_counts)
+    per_count = {}
+    for count in shard_counts:
+        bucket = totals[count]
+        per_count[str(count)] = {
+            "events": bucket["events"],
+            "seconds": round(bucket["seconds"], 4),
+            "events_per_sec": round(
+                bucket["events"] / bucket["seconds"]
+                if bucket["seconds"]
+                else 0.0,
+                1,
+            ),
+        }
+    base_eps = per_count[str(shard_counts[0])]["events_per_sec"]
+    speedup = {
+        str(count): (
+            round(per_count[str(count)]["events_per_sec"] / base_eps, 2)
+            if base_eps
+            else None
+        )
+        for count in shard_counts
+    }
+    return {
+        "shard_counts": list(shard_counts),
+        "per_count": per_count,
+        "speedup_vs_serial": speedup,
+        "identical_sites": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Observability overhead: what does the flight recorder itself cost?
 # ---------------------------------------------------------------------------
 
@@ -324,10 +416,26 @@ def main(argv=None) -> int:
         "--no-equivalence", action="store_true",
         help="skip the fast-vs-slow replay equivalence check",
     )
+    parser.add_argument(
+        "--no-shard-scaling", action="store_true",
+        help="skip the sharded-replay throughput sweep "
+             f"(shards in {{{', '.join(map(str, SHARD_COUNTS))}}})",
+    )
     add_observability_args(parser)
     args = parser.parse_args(argv)
     begin_observability(args)
     logger = get_logger("bench")
+
+    from repro.core.sharding import default_shards
+    from repro.obs.log import log_run_config
+
+    log_run_config(
+        backend="iguard",
+        shards=default_shards(),
+        workers=1,
+        fast_path=DEFAULT_CONFIG.fast_path,
+        logger=logger,
+    )
 
     workloads = basket(smoke=args.smoke)
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
@@ -387,6 +495,20 @@ def main(argv=None) -> int:
         status = "identical" if result["equivalence"]["identical"] else "MISMATCH"
         output(f"replay equivalence (fast vs slow): {status}")
 
+    if not args.no_shard_scaling:
+        result["shard_scaling"] = measure_shard_scaling(
+            workloads, repeats=args.repeats
+        )
+        scaling = result["shard_scaling"]
+        line = ", ".join(
+            f"{count}: {scaling['per_count'][str(count)]['events_per_sec']:.0f}"
+            f" ({scaling['speedup_vs_serial'][str(count)]}x)"
+            for count in scaling["shard_counts"]
+        )
+        sites = "identical" if scaling["identical_sites"] else "MISMATCH"
+        output(f"shard scaling events/sec {{shards: eps (speedup)}}: {line}")
+        output(f"shard scaling race sites across counts: {sites}")
+
     if args.embed_baseline:
         with open(args.embed_baseline, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -423,6 +545,11 @@ def main(argv=None) -> int:
             )
     if not result.get("equivalence", {}).get("identical", True):
         logger.error("EQUIVALENCE FAILURE: fast path changed detection output")
+        exit_code = 3
+    if not result.get("shard_scaling", {}).get("identical_sites", True):
+        logger.error(
+            "SHARDING FAILURE: sharded replay changed detection output"
+        )
         exit_code = 3
 
     if args.output:

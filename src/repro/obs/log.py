@@ -79,6 +79,32 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
 
 
+def log_run_config(
+    backend: str,
+    shards: int,
+    workers: int,
+    fast_path: Optional[bool] = None,
+    logger: Optional[logging.Logger] = None,
+) -> None:
+    """One-line INFO summary of a run's execution shape.
+
+    Emitted once at startup by the entry points (runner, recall gate,
+    bench) so any log capture states how the run was configured —
+    which detector backend, how many detector shards partition the
+    per-launch check work, how many worker processes fan cells out,
+    and whether the same-epoch elision fast path is active.
+    ``fast_path`` of None (detectors without the knob) logs as ``n/a``.
+    """
+    log = logger if logger is not None else get_logger("config")
+    log.info(
+        "run config: backend=%s shards=%d workers=%d fast-path=%s",
+        backend,
+        shards,
+        workers,
+        "n/a" if fast_path is None else ("on" if fast_path else "off"),
+    )
+
+
 def output(*parts: object, sep: str = " ", end: str = "\n") -> None:
     """Write to the result channel (stdout).
 

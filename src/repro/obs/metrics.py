@@ -276,6 +276,12 @@ class _HotMetrics:
         self.checkpoint_reused = registry.counter("checkpoint.cells_reused")
         # Metadata-table pressure (graceful degradation knob).
         self.metadata_evictions = registry.counter("detector.metadata.evictions")
+        # Sharded detection core (repro.core.sharding).
+        self.shard_routed = registry.counter("shard.events_routed")
+        self.shard_broadcast = registry.counter("shard.events_broadcast")
+        self.shard_flushes = registry.counter("shard.queue_flushes")
+        self.shard_queue_depth = registry.histogram("shard.queue_depth")
+        self.shard_imbalance = registry.gauge("shard.imbalance")
 
 
 _REGISTRY = MetricsRegistry(

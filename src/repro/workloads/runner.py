@@ -61,6 +61,27 @@ def detector_name(tool_factory: ToolFactory) -> str:
     return tool_factory().name
 
 
+class DetectorFactory:
+    """A picklable tool factory binding a detector class to a shard count.
+
+    Seed cells ship their factory to worker processes, so a bare lambda
+    closing over ``shards`` would break ``workers > 1``.  This wrapper
+    stays picklable (class + int) and exposes the detector's ``name``
+    attribute so :func:`detector_name` resolves it without instantiating.
+    """
+
+    def __init__(self, cls, shards: Optional[int] = None):
+        self.cls = cls
+        self.shards = shards
+        self.name = cls.name
+
+    def __call__(self, shards: Optional[int] = None) -> Tool:
+        shards = shards if shards is not None else self.shards
+        if shards is None:
+            return self.cls()
+        return self.cls(shards=shards)
+
+
 @dataclass
 class SeedOutcome:
     """What one (workload, detector, seed) cell produced.
@@ -453,11 +474,23 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--detector", default="iguard",
-        choices=["iguard", "barracuda", "native"],
+        choices=["iguard", "barracuda", "scord", "curd", "fasttrack", "native"],
     )
     parser.add_argument(
         "--workers", type=int, default=1,
         help="fan seed cells out over N worker processes",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition per-launch check work across N detector shards "
+             "(default: IGUARD_SHARDS or 1); reports are byte-identical "
+             "to serial for any N",
+    )
+    parser.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the merged result (status, sites, timing) as "
+             "canonical JSON to PATH — sharded and serial runs produce "
+             "byte-identical files",
     )
     parser.add_argument(
         "--seeds", default=None, metavar="S1,S2",
@@ -484,13 +517,27 @@ def main(argv=None) -> int:
     begin_observability(args)
     logger = get_logger("runner")
 
-    from repro.baselines.barracuda import Barracuda
+    from repro.baselines import Barracuda, CURD, FastTrack, ScoRD
+    from repro.core.config import DEFAULT_CONFIG
     from repro.core.detector import IGuard
+    from repro.core.sharding import default_shards
+    from repro.obs.log import log_run_config
     from repro.workloads.registry import get_workload
 
-    factory: ToolFactory = {
-        "iguard": IGuard, "barracuda": Barracuda, "native": None
+    detector_cls = {
+        "iguard": IGuard,
+        "barracuda": Barracuda,
+        "scord": ScoRD,
+        "curd": CURD,
+        "fasttrack": FastTrack,
+        "native": None,
     }[args.detector]
+    shards = args.shards if args.shards is not None else default_shards()
+    factory: ToolFactory = (
+        DetectorFactory(detector_cls, shards=shards)
+        if detector_cls is not None
+        else None
+    )
     workload = get_workload(args.workload)
     seeds = (
         tuple(int(s) for s in args.seeds.split(",")) if args.seeds else None
@@ -500,9 +547,16 @@ def main(argv=None) -> int:
         if args.checkpoint
         else None
     )
-    logger.info(
-        "running %s under %s (%d worker(s))",
-        workload.name, args.detector, args.workers,
+    log_run_config(
+        backend=args.detector,
+        shards=shards,
+        workers=args.workers,
+        fast_path=(
+            DEFAULT_CONFIG.fast_path
+            if args.detector in ("iguard", "scord")
+            else None
+        ),
+        logger=logger,
     )
     result = run_workload(
         workload, factory, seeds=seeds, workers=args.workers,
@@ -517,6 +571,24 @@ def main(argv=None) -> int:
         output(f"  [{race_type}] {ip}")
     if result.detail:
         logger.info("detail: %s", result.detail)
+    if args.report_json:
+        import json
+
+        payload = {
+            "workload": result.workload,
+            "detector": result.detector,
+            "status": result.status,
+            "races": result.races,
+            "race_sites": [[ip, t] for ip, t in result.race_sites],
+            "overhead": result.overhead,
+            "native_time": result.native_time,
+            "total_time": result.total_time,
+            "breakdown": dict(sorted(result.breakdown.items())),
+            "detail": result.detail,
+        }
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     finalize_observability(args)
     return 0
 
