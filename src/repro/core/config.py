@@ -57,7 +57,25 @@ class IGuardConfig:
     #: ``check_per_access`` cycles are still charged, so races, race types
     #: and cycle breakdowns are bit-identical with the knob on or off;
     #: only the reproduction's own wall-clock time changes.
-    fast_path: bool = True
+    #:
+    #: ``True`` forces elision on, ``False`` off.  ``"auto"`` (the
+    #: default) samples the observed elision hit rate over the first
+    #: ``fast_path_warmup`` checked accesses of each kernel and turns the
+    #: signature bookkeeping off for the rest of the launch — and for
+    #: every later launch of the same kernel — when the rate is below
+    #: ``fast_path_break_even``.  Detection output is identical in all
+    #: three modes; "auto" just refuses to pay for bookkeeping that
+    #: cannot pay for itself.
+    fast_path: "bool | str" = "auto"
+    #: Checked accesses sampled per kernel before "auto" decides.  Kept
+    #: small so even short kernels (a few hundred checks) reach a
+    #: verdict instead of paying bookkeeping for their whole launch.
+    fast_path_warmup: int = 128
+    #: Minimum warm-up elision hit rate for "auto" to keep the fast path:
+    #: one elision saves roughly one full Table 2 check but every miss
+    #: costs a signature build + dict probe (~5% of a check), so the
+    #: break-even sits near elided/checked = 0.05.
+    fast_path_break_even: float = 0.05
     #: Cap on materialized metadata entries (None = unbounded, the
     #: paper's UVM-backed on-demand table).  A finite cap models memory
     #: pressure: the table evicts its oldest entry to admit a new granule.
@@ -82,6 +100,12 @@ class IGuardConfig:
             raise ConfigError("race buffer smaller than one record")
         if self.accessor_history < 1:
             raise ConfigError("accessor_history must be >= 1")
+        if self.fast_path not in (True, False, "auto"):
+            raise ConfigError('fast_path must be True, False, or "auto"')
+        if self.fast_path_warmup < 1:
+            raise ConfigError("fast_path_warmup must be >= 1")
+        if not 0.0 <= self.fast_path_break_even <= 1.0:
+            raise ConfigError("fast_path_break_even must be in [0, 1]")
         if self.metadata_max_entries is not None and self.metadata_max_entries < 1:
             raise ConfigError("metadata_max_entries must be >= 1 (or None)")
 

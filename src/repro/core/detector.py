@@ -137,6 +137,10 @@ class IGuard(Tool):
         #: Per-shard routed-event counts for the current launch (HOT
         #: imbalance accounting; reset each launch).
         self._shard_routed: List[int] = [0] * shards
+        #: Per-shard routed-event totals across the tool's whole life —
+        #: the bench's shard-imbalance forensics read this directly, so
+        #: it accumulates whether or not the HOT recorder is on.
+        self.shard_routed_total: List[int] = [0] * shards
 
     # ------------------------------------------------------------------
     # Delegation: the detection state lives on the cores
@@ -275,17 +279,20 @@ class IGuard(Tool):
             self._current.metadata_entries = sum(
                 len(core.table) for core in self.cores
             )
-        if HOT.enabled and self.shards > 1:
+        if self.shards > 1:
             routed = self._shard_routed
-            total = sum(routed)
-            for depth in routed:
-                HOT.shard_queue_depth.observe(depth)
-            if total:
-                # Imbalance: the hottest shard's load relative to perfect
-                # balance (1.0 = perfectly even).
-                HOT.shard_imbalance.set(
-                    max(routed) * self.shards / total
-                )
+            for shard, count in enumerate(routed):
+                self.shard_routed_total[shard] += count
+            if HOT.enabled:
+                total = sum(routed)
+                for depth in routed:
+                    HOT.shard_queue_depth.observe(depth)
+                if total:
+                    # Imbalance: the hottest shard's load relative to
+                    # perfect balance (1.0 = perfectly even).
+                    HOT.shard_imbalance.set(
+                        max(routed) * self.shards / total
+                    )
 
     # ------------------------------------------------------------------
     # Synchronization operations

@@ -181,6 +181,25 @@ class DetectorCore:
         """Run full detection for a memory event this core owns."""
         raise NotImplementedError
 
+    def check_run(self, run, launch, stats=None) -> None:
+        """Check a queued run of routed ``(event, key)`` pairs in order."""
+        check = self.check_memory
+        for event, key in run:
+            check(event, key, launch, stats)
+
+    def drain_batch(self, run, launch, stats=None) -> None:
+        """Batched drain entry point for the sharded queue drivers.
+
+        One call per queued chunk: the adapter-level per-event dispatch
+        (Tool callback, bus publish, cost charging) is paid once per
+        batch and the backend's tightest ``check_run`` loop does the
+        rest.  Subclasses that can exploit batch structure (column
+        slices, signature runs) override this; the default just guards
+        the empty case and delegates.
+        """
+        if run:
+            self.check_run(run, launch, stats)
+
     # -- report plumbing ---------------------------------------------------
 
     def emit(self, record: RaceRecord, md=None) -> bool:
@@ -243,7 +262,25 @@ class IGuardCore(DetectorCore):
         #: extra per-access history checks charge extra cycles that a
         #: replayed outcome could not reproduce.
         self._elide: Dict[int, Tuple] = {}
-        self._fast_path = config.fast_path and config.accessor_history == 1
+        # Fast-path mode: "on" / "off" are forced; "auto" samples each
+        # kernel's elision hit rate over a warm-up window and disables
+        # the bookkeeping below break-even (the signature build + dict
+        # probe costs real time; an elision must repay it).  Disabled
+        # outright under the accessor-history ablation, whose extra
+        # per-access history checks charge extra cycles that a replayed
+        # outcome could not reproduce.
+        if config.accessor_history != 1 or config.fast_path is False:
+            self._fast_mode = "off"
+        elif config.fast_path == "auto":
+            self._fast_mode = "auto"
+        else:
+            self._fast_mode = "on"
+        self._fast_path = self._fast_mode != "off"
+        #: Sticky per-kernel "auto" verdicts (kernel name -> keep?);
+        #: later launches of a decided kernel skip the warm-up.
+        self.fast_decisions: Dict[str, bool] = {}
+        self._warmup_left = 0
+        self._warmup_hits = 0
         #: Ground-truth lock hashes of the last writer per granule, kept
         #: only while metrics are enabled, to count 16-bit Bloom filter
         #: false positives (filters intersect, true lock sets disjoint).
@@ -262,6 +299,17 @@ class IGuardCore(DetectorCore):
             self.sync = SyncMetadata(self.config.lock_table_entries)
         self._elide.clear()
         self._writer_lock_truth.clear()
+        if self._fast_mode == "auto":
+            decision = self.fast_decisions.get(launch.kernel_name)
+            if decision is None:
+                # Undecided kernel: run the fast path through a warm-up
+                # window, counting elision hits.
+                self._fast_path = True
+                self._warmup_left = self.config.fast_path_warmup
+                self._warmup_hits = 0
+            else:
+                self._fast_path = decision
+                self._warmup_left = 0
         if self.config.reset_metadata_per_kernel:
             self.table.clear()
             self._history.clear()
@@ -402,7 +450,17 @@ class IGuardCore(DetectorCore):
                 entry.writer_word,
             )
             cached = self._elide.get(granule)
-            if cached is not None and cached[0] == sig:
+            hit = cached is not None and cached[0] == sig
+            if self._warmup_left:
+                # "auto" warm-up: sample the hit rate, then decide.
+                self._warmup_left -= 1
+                if hit:
+                    self._warmup_hits += 1
+                if not self._warmup_left:
+                    self._decide_fast_path(launch)
+                    if not self._fast_path:
+                        sig = None  # decision just disabled caching
+            if hit:
                 _, label, post_accessor, post_writer = cached
                 entry.accessor_word = post_accessor
                 entry.writer_word = post_writer
@@ -524,6 +582,29 @@ class IGuardCore(DetectorCore):
                 entry.accessor_word, entry.writer_word,
             )
 
+    def _decide_fast_path(self, launch) -> None:
+        """End of an "auto" warm-up window: keep or drop the fast path.
+
+        The verdict sticks for every later launch of the same kernel (on
+        this core).  Elision is outcome-neutral by construction — a hit
+        replays the recorded check verbatim — so the decision changes
+        wall-clock time only, never detection output.
+        """
+        config = self.config
+        keep = (
+            self._warmup_hits
+            >= config.fast_path_break_even * config.fast_path_warmup
+        )
+        self.fast_decisions[launch.kernel_name] = keep
+        if not keep:
+            self._fast_path = False
+            self._elide.clear()
+        if HOT.enabled:
+            if keep:
+                HOT.fastpath_auto_kept.inc()
+            else:
+                HOT.fastpath_auto_disabled.inc()
+
     def check_run(self, run, launch, stats=None) -> None:
         """Check a queued run of routed ``(event, granule)`` pairs in order.
 
@@ -535,7 +616,10 @@ class IGuardCore(DetectorCore):
         fence, and lock-mutating atomic), so the epoch is a loop constant.
         Misses and probe-attached runs fall back to ``check_memory``.
         """
-        if not self._fast_path or self.probe is not None:
+        if not self._fast_path or self.probe is not None or self._warmup_left:
+            # The per-event path also carries the "auto" warm-up
+            # accounting, so an undecided kernel drains through it until
+            # the window closes.
             check = self.check_memory
             for event, granule in run:
                 check(event, granule, launch, stats)

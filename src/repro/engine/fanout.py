@@ -137,3 +137,76 @@ def run_workload_fanout(
         else:
             results.append(_merge_outcomes(workload.name, name, outcomes))
     return results
+
+def _stream_runs(stream, default_config: GPUConfig = SIM_GPU):
+    """Split a lazy event stream at RunMarker boundaries.
+
+    Yields ``(config, events)`` per run — the same split
+    :meth:`~repro.engine.trace.Trace.runs` performs on a materialized
+    trace, but holding only one run's events in memory at a time, so a
+    columnar chunk stream never materializes the whole file.
+    """
+    from repro.engine.trace import RunMarker
+
+    config = default_config
+    current: List = []
+    pending = False
+    for event in stream:
+        if isinstance(event, GPUConfig):
+            config = event
+            continue
+        if isinstance(event, RunMarker):
+            if pending:
+                yield config, current
+                current = []
+            pending = True
+            continue
+        current.append(event)
+        pending = True
+    if pending:
+        yield config, current
+
+
+def replay_trace_fanout(
+    source,
+    tool_factories: Sequence,
+    shards: Optional[int] = None,
+    workload_name: str = "replay",
+) -> List[WorkloadResult]:
+    """Replay one saved trace through many detectors in a single pass.
+
+    ``source`` is a :class:`~repro.engine.trace.Trace` or a path to a
+    saved trace file (JSONL or columnar; paths are streamed run by run,
+    never loaded whole).  Each detector observes the identical stream
+    behind its own :class:`~repro.engine.bus.ToolSink`, so the results
+    match what a solo :func:`~repro.engine.replay.replay_workload` with
+    that factory would produce — one decode pass instead of N.
+    """
+    from repro.engine.replay import ReplayDevice, replay
+    from repro.engine.trace import Trace, stream_events
+
+    names = [detector_name(factory) for factory in tool_factories]
+    per_factory: List[List[SeedOutcome]] = [[] for _ in tool_factories]
+
+    if isinstance(source, Trace):
+        runs = (
+            (source.gpu_config or SIM_GPU, events)
+            for _seed, events in source.runs()
+        )
+    else:
+        runs = _stream_runs(stream_events(source))
+
+    for config, events in runs:
+        device = ReplayDevice(config)
+        sinks = [
+            device.add_sink(ToolSink(_build_tool(factory, shards)))
+            for factory in tool_factories
+        ]
+        replay(events, device=device)
+        for sink, bucket in zip(sinks, per_factory):
+            bucket.append(_sink_outcome(sink, "ok", ""))
+
+    return [
+        _merge_outcomes(workload_name, name, outcomes)
+        for name, outcomes in zip(names, per_factory)
+    ]

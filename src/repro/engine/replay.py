@@ -20,6 +20,7 @@ fire during replay dispatch exactly where they fired live.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, List, Optional
 
 from repro.engine.bus import EventBus
@@ -109,12 +110,30 @@ def replay(
     Returns the device; detector state (races, timings) lives on the
     attached tools and ``device.runs``.
     """
-    events = list(events)
-    if device is None:
-        if config is None:
+    if device is None and config is None:
+        if isinstance(events, (list, Trace)):
+            # Materialized input: scan for the header without consuming.
             config = next(
                 (e for e in events if isinstance(e, GPUConfig)), TITAN_RTX
             )
+        else:
+            # Lazy stream (a coltrace chunk generator, a JSONL line
+            # reader): peek just past the preamble — the GPUConfig header
+            # precedes the first run's events — then chain the buffer
+            # back, so the stream is never materialized whole.
+            iterator = iter(events)
+            buffered: list = []
+            for event in iterator:
+                buffered.append(event)
+                if isinstance(event, GPUConfig):
+                    config = event
+                    break
+                if not isinstance(event, RunMarker):
+                    break
+            if config is None:
+                config = TITAN_RTX
+            events = itertools.chain(buffered, iterator)
+    if device is None:
         device = ReplayDevice(config)
     for tool in tools:
         device.add_tool(tool)

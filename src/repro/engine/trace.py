@@ -304,7 +304,17 @@ class Trace:
         )
 
     def save(self, path) -> None:
-        """Write the trace to ``path`` (gzipped when it ends in ``.gz``)."""
+        """Write the trace to ``path``.
+
+        The extension picks the codec: ``.ctr`` / ``.ctr.gz`` write the
+        columnar container (:mod:`repro.engine.coltrace`), anything else
+        the JSONL codec (gzipped when it ends in ``.gz``).
+        """
+        if str(path).endswith((".ctr", ".ctr.gz")):
+            from repro.engine.coltrace import save_columnar
+
+            save_columnar(self.events, path)
+            return
         opener = gzip.open if str(path).endswith(".gz") else open
         with opener(path, "wt", encoding="utf-8") as handle:
             for event in self.events:
@@ -323,7 +333,23 @@ class Trace:
         With ``salvage=True`` the intact prefix is returned instead — the
         corruption details are attached as ``trace.corruption`` so replay
         consumers can tell a salvaged trace from a complete one.
+
+        ``.ctr`` / ``.ctr.gz`` paths read the columnar container with the
+        same salvage contract (the recovery granule is a chunk of rows
+        rather than a line; the error's ``line`` is the block ordinal).
         """
+        if str(path).endswith((".ctr", ".ctr.gz")):
+            from repro.engine.coltrace import read_events
+
+            events, corruption = read_events(path, salvage=salvage)
+            if corruption is not None:
+                get_logger("trace").warning(
+                    "salvaged %d event(s) from %s (%s)",
+                    len(events), path, corruption,
+                )
+            trace = cls(events)
+            trace.corruption = corruption
+            return trace
         opener = gzip.open if str(path).endswith(".gz") else open
         events: List = []
         line_number = 0
@@ -367,6 +393,46 @@ class Trace:
             trace.corruption = corruption
             return trace
         return cls(events)
+
+
+def stream_events(path) -> Iterator:
+    """Lazily yield a saved trace's events without loading it whole.
+
+    Dispatches on extension like :meth:`Trace.load`: columnar paths
+    decode chunk by chunk, JSONL paths line by line.  Corruption raises
+    :class:`TraceCorruptionError` mid-iteration (no salvage mode — lazy
+    consumers that want salvage should use ``Trace.load``).
+    """
+    if str(path).endswith((".ctr", ".ctr.gz")):
+        from repro.engine.coltrace import stream_events as stream_columnar
+
+        yield from stream_columnar(path)
+        return
+    opener = gzip.open if str(path).endswith(".gz") else open
+    line_number = 0
+    last_good_offset = 0
+    try:
+        with opener(path, "rt", encoding="utf-8") as handle:
+            for line in handle:
+                line_number += 1
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        yield decode_event(json.loads(stripped))
+                    except (
+                        json.JSONDecodeError, KeyError, ValueError,
+                        TypeError, IndexError,
+                    ) as exc:
+                        raise TraceCorruptionError(
+                            path, line_number, last_good_offset,
+                            f"{type(exc).__name__}: {exc}",
+                        ) from exc
+                last_good_offset += len(line.encode("utf-8"))
+    except (EOFError, UnicodeDecodeError, gzip.BadGzipFile, OSError) as exc:
+        raise TraceCorruptionError(
+            path, line_number + 1, last_good_offset,
+            f"{type(exc).__name__}: {exc}",
+        ) from exc
 
 
 # ---------------------------------------------------------------------------

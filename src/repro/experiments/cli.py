@@ -9,6 +9,9 @@ Two non-experiment subcommands ride the same entry point:
 - ``iguard-experiments explain <race-site>`` — race forensics: replay a
   recorded trace and reconstruct why a race was reported
   (:mod:`repro.obs.forensics`);
+- ``iguard-experiments trace <capture|convert|info|replay>`` — trace
+  container tooling for both on-disk formats, JSONL and columnar
+  (:mod:`repro.experiments.tracecli`);
 - the observability flags (``--log-level``, ``--metrics-out``,
   ``--trace-out``) apply to any experiment run.
 """
@@ -38,6 +41,11 @@ def main(argv=None) -> int:
         from repro.obs.forensics import main as explain_main
 
         return explain_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Trace capture/convert/info/replay, same early dispatch.
+        from repro.experiments.tracecli import main as trace_main
+
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="iguard-experiments",
@@ -48,8 +56,9 @@ def main(argv=None) -> int:
         nargs="*",
         metavar="NAME",
         help=f"experiments to run (default: all); one of "
-             f"{', '.join(ALL_EXPERIMENTS)}, or the 'explain' subcommand "
-             f"(see 'iguard-experiments explain --help')",
+             f"{', '.join(ALL_EXPERIMENTS)}, or the 'explain'/'trace' "
+             f"subcommands (see 'iguard-experiments explain --help' and "
+             f"'iguard-experiments trace --help')",
     )
     parser.add_argument(
         "--workers",

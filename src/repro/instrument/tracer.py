@@ -68,11 +68,17 @@ class Tracer(Tool):
         """Rebuild a rendered trace from a recorded event stream.
 
         ``trace`` is a :class:`~repro.engine.trace.Trace` (or any iterable
-        of stream records); the tracer observes it through
+        of stream records), or a path to a saved trace file — paths are
+        streamed lazily (columnar chunks or JSONL lines) rather than
+        loaded whole; the tracer observes the stream through
         :func:`repro.engine.replay.replay` instead of a live device.
         """
         from repro.engine.replay import replay
 
+        if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+            from repro.engine.trace import stream_events
+
+            trace = stream_events(trace)
         tracer = cls(**kwargs)
         replay(trace, tools=[tracer])
         return tracer

@@ -282,6 +282,14 @@ class _HotMetrics:
         self.shard_flushes = registry.counter("shard.queue_flushes")
         self.shard_queue_depth = registry.histogram("shard.queue_depth")
         self.shard_imbalance = registry.gauge("shard.imbalance")
+        # Columnar trace container (repro.engine.coltrace).
+        self.trace_chunks = registry.counter("trace.chunks_decoded")
+        self.trace_rows = registry.counter("trace.rows_decoded")
+        # Adaptive fast path: per-kernel warm-up decisions.
+        self.fastpath_auto_kept = registry.counter("detector.fastpath.auto_kept")
+        self.fastpath_auto_disabled = registry.counter(
+            "detector.fastpath.auto_disabled"
+        )
 
 
 _REGISTRY = MetricsRegistry(

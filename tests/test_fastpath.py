@@ -107,8 +107,118 @@ class TestElisionMechanics:
         assert fast.preliminary_pass == slow.preliminary_pass
         assert fast.races_reported == slow.races_reported
 
-    def test_default_config_enables_fast_path(self):
-        assert DEFAULT_CONFIG.fast_path is True
+    def test_default_config_uses_auto_mode(self):
+        assert DEFAULT_CONFIG.fast_path == "auto"
+
+
+class TestAdaptiveFastPath:
+    """The "auto" mode: warm-up sampling, sticky per-kernel verdicts."""
+
+    def _replay(self, name, config):
+        workload = get_workload(name)
+        trace = capture_workload(workload, seeds=workload.seeds[:2])
+        return replay_workload(trace, lambda: IGuard(config=config), name)
+
+    @pytest.mark.parametrize("name", RACY[:2] + RACE_FREE[:1])
+    def test_auto_output_identical_to_forced_modes(self, name):
+        auto = self._replay(name, IGuardConfig(fast_path="auto"))
+        on = self._replay(name, IGuardConfig(fast_path=True))
+        off = self._replay(name, IGuardConfig(fast_path=False))
+        assert _fingerprint(auto) == _fingerprint(on) == _fingerprint(off)
+
+    def test_low_elision_kernel_gets_disabled(self):
+        # matrix-mult elides well under 5% of checks; a short warm-up
+        # window must conclude the bookkeeping cannot pay for itself.
+        workload = get_workload("matrix-mult")
+        trace = capture_workload(workload, seeds=workload.seeds[:1])
+        from repro.engine.replay import ReplayDevice, replay
+
+        device = ReplayDevice(trace.gpu_config)
+        tool = device.add_tool(
+            IGuard(config=IGuardConfig(fast_path="auto", fast_path_warmup=64))
+        )
+        replay(trace.runs()[0][1], device=device)
+        decisions = tool.cores[0].fast_decisions
+        assert decisions and all(keep is False for keep in decisions.values())
+
+    def test_high_elision_kernel_keeps_fast_path(self):
+        # The spin kernel re-reads one granule in a tight loop: nearly
+        # every post-warm-up check is a same-epoch hit.
+        dev = fresh_device()
+        det = dev.add_tool(
+            IGuard(config=IGuardConfig(fast_path="auto", fast_path_warmup=16))
+        )
+        flag = dev.alloc("flag", 1, init=0)
+        out = dev.alloc("out", 40, init=0)
+
+        def kern(ctx, flag, out):
+            if ctx.tid == 0:
+                yield store(out, 0, 7)
+                yield atomic_add(flag, 0, 1)
+            else:
+                for _ in range(8):
+                    v = yield atomic_load(flag, 0)
+                yield store(out, 1 + ctx.tid, v)
+
+        dev.launch(
+            kern, 1, 8, args=(flag, out), seed=3, split_probability=0.0
+        )
+        decisions = det.cores[0].fast_decisions
+        assert decisions and all(keep is True for keep in decisions.values())
+        assert det.stats[0].accesses_elided > 0
+
+    def test_unfinished_warmup_leaves_fast_path_armed(self):
+        # A warm-up window larger than the whole kernel never closes: no
+        # verdict is recorded, and elision keeps working meanwhile.
+        dev = fresh_device()
+        det = dev.add_tool(
+            IGuard(config=IGuardConfig(fast_path="auto", fast_path_warmup=4096))
+        )
+        flag = dev.alloc("flag", 1, init=0)
+        out = dev.alloc("out", 40, init=0)
+
+        def kern(ctx, flag, out):
+            if ctx.tid == 0:
+                yield store(out, 0, 7)
+                yield atomic_add(flag, 0, 1)
+            else:
+                for _ in range(8):
+                    v = yield atomic_load(flag, 0)
+                yield store(out, 1 + ctx.tid, v)
+
+        dev.launch(
+            kern, 1, 8, args=(flag, out), seed=3, split_probability=0.0
+        )
+        assert det.cores[0].fast_decisions == {}
+        assert det.stats[0].accesses_elided > 0
+
+    def test_sticky_decision_skips_warmup_on_relaunch(self):
+        workload = get_workload("matrix-mult")
+        trace = capture_workload(workload, seeds=workload.seeds[:1])
+        from repro.engine.replay import ReplayDevice, replay
+
+        device = ReplayDevice(trace.gpu_config)
+        tool = device.add_tool(
+            IGuard(config=IGuardConfig(fast_path="auto", fast_path_warmup=64))
+        )
+        events = trace.runs()[0][1]
+        replay(events, device=device)
+        first = dict(tool.cores[0].fast_decisions)
+        # Replaying the same kernels again must not re-arm the warm-up
+        # (the decided kernel goes straight to its verdict).
+        replay(events, device=device)
+        assert tool.cores[0].fast_decisions == first
+        assert tool.cores[0]._warmup_left == 0
+
+    def test_invalid_fast_path_value_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            IGuardConfig(fast_path="always")
+        with pytest.raises(ConfigError):
+            IGuardConfig(fast_path_warmup=0)
+        with pytest.raises(ConfigError):
+            IGuardConfig(fast_path_break_even=1.5)
 
 
 class TestDefaultArgumentHygiene:
