@@ -61,6 +61,7 @@ from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent
 from repro.gpu.instructions import AtomicOp
 from repro.instrument.nvbit import LaunchInfo, Tool
 from repro.instrument.timing import Category
+from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import HOT
 
 __all__ = ["DetectorCosts", "LaunchStats", "IGuard"]
@@ -285,8 +286,14 @@ class IGuard(Tool):
                 self.shard_routed_total[shard] += count
             if HOT.enabled:
                 total = sum(routed)
-                for depth in routed:
+                registry = obs_metrics.get_registry()
+                for shard, depth in enumerate(routed):
                     HOT.shard_queue_depth.observe(depth)
+                    if depth:
+                        # Per-shard labelled series for the telemetry
+                        # pipeline (iguard_shard_events_total{shard="i"}
+                        # after OpenMetrics label folding).
+                        registry.counter(f"shard.{shard}.events").inc(depth)
                 if total:
                     # Imbalance: the hottest shard's load relative to
                     # perfect balance (1.0 = perfectly even).

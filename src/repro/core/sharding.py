@@ -69,7 +69,23 @@ from repro.gpu.device import KernelRun
 from repro.gpu.instructions import AtomicOp
 from repro.instrument.nvbit import LaunchInfo
 from repro.instrument.timing import Category, TimingBreakdown
+from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import HOT
+
+
+def _observe_shard_drain(shard: int, depth: int) -> None:
+    """Per-shard sampled series for the telemetry pipeline.
+
+    Named ``shard.<i>.*`` so the OpenMetrics exposition folds them into
+    one labelled family (``iguard_shard_drain_depth{shard="i"}``); the
+    gauge is last-value — the depth this shard drained at.  (Distinct
+    from the unlabelled ``shard.queue_depth`` HOT *histogram*, which
+    aggregates across shards.)  Called at sync-barrier drains only —
+    never per event — and only behind ``HOT.enabled``.  The per-shard
+    routed *counter* lives in the detector's launch-end accounting,
+    which both the inline and batched modes share.
+    """
+    obs_metrics.get_registry().gauge(f"shard.{shard}.drain_depth").set(depth)
 
 #: Process-wide default shard count, consulted by every detector adapter
 #: whose ``shards`` argument is None.  The experiment CLIs arm it so one
@@ -158,6 +174,7 @@ class BatchShardedIGuard(IGuard):
                     self.queue_depth_max = depth
                 if HOT.enabled:
                     HOT.shard_queue_depth.observe(depth)
+                    _observe_shard_drain(shard, depth)
                 self.cores[shard].drain_batch(queue, launch, stats)
                 queue.clear()
         if drained and HOT.enabled:
@@ -231,6 +248,7 @@ class BatchShardedFastTrack(FastTrack):
                     self.queue_depth_max = depth
                 if HOT.enabled:
                     HOT.shard_queue_depth.observe(depth)
+                    _observe_shard_drain(shard, depth)
                 self.cores[shard].drain_batch(queue, launch)
                 queue.clear()
         if drained and HOT.enabled:

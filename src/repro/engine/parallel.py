@@ -39,7 +39,7 @@ import multiprocessing
 import os
 import queue as queue_module
 from dataclasses import dataclass, field
-from time import perf_counter, sleep
+from time import perf_counter, sleep, time as wall_clock
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.common.rng import SplitMix64
@@ -49,6 +49,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.metrics import HOT
 from repro.obs.spans import TRACER, now_us
+from repro.obs.telemetry import HEARTBEATS
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -310,6 +311,8 @@ class _Supervisor:
             kind, index, attempt, payload = message
             worker.current = None
             progressed = True
+            if HEARTBEATS.enabled:
+                HEARTBEATS.finish_cell(worker.process.pid, ok=kind == "done")
             if kind == "done":
                 if index not in self.results:
                     self.results[index] = _absorb(payload)
@@ -333,6 +336,8 @@ class _Supervisor:
             )
             self.logger.warning("%s", crash)
             worker.current = None
+            if HEARTBEATS.enabled:
+                HEARTBEATS.update(worker.process.pid, state="dead")
             self._replace(worker)
             self._retry(index, attempt, str(crash), now)
         elif (
@@ -347,6 +352,8 @@ class _Supervisor:
                 self._label(index), self.hard_timeout,
             )
             worker.current = None
+            if HEARTBEATS.enabled:
+                HEARTBEATS.update(worker.process.pid, state="dead")
             self._replace(worker)
             self._retry(index, attempt, f"hard timeout {self.hard_timeout}s", now)
         elif now - worker.warned >= self.soft_timeout:
@@ -380,6 +387,14 @@ class _Supervisor:
                         if index in self.results:
                             continue  # superseded by a raced completion
                         worker.assign(index, attempt, self.items[index], now)
+                        if HEARTBEATS.enabled:
+                            HEARTBEATS.update(
+                                worker.process.pid,
+                                state="running",
+                                cell=self._label(index),
+                                attempt=attempt,
+                                started=wall_clock(),
+                            )
                 progressed = False
                 for worker in list(self.team):
                     progressed |= self._drain(worker)
@@ -396,6 +411,8 @@ class _Supervisor:
                     sleep(_POLL_SECONDS)
         finally:
             for worker in self.team:
+                if HEARTBEATS.enabled:
+                    HEARTBEATS.update(worker.process.pid, state="exited")
                 worker.shutdown()
         return [self.results[i] for i in range(num_items)]
 

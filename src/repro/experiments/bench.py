@@ -61,6 +61,7 @@ from repro.obs import (
     finalize_observability,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs import profiler as obs_profiler
 from repro.obs.log import get_logger, output
 from repro.workloads import racy_workloads
 from repro.workloads.base import SIM_GPU
@@ -623,14 +624,32 @@ def measure_trace_throughput(
 # ---------------------------------------------------------------------------
 
 
-def measure_obs_overhead(workloads, repeats: int = 1, seeds_limit: int = 1) -> dict:
-    """Measure the metrics instrumentation's own wall-clock cost.
+#: Sampling interval for the telemetry on-cost measurement: aggressive
+#: (20 Hz vs the 1 Hz default) so the measured number is an upper bound.
+SAMPLER_BENCH_INTERVAL = 0.05
 
-    Runs the fast-path basket twice — once with the metrics registry
-    disabled and once enabled — over one seed per workload, and reports
-    the events/sec of each plus the overhead as a separate percentage.
+
+def measure_obs_overhead(workloads, repeats: int = 1, seeds_limit: int = 1) -> dict:
+    """Measure the observability stack's own wall-clock cost, per layer.
+
+    Three measurements of the fast-path basket over one seed per
+    workload: metrics registry **disabled**, metrics **enabled**, and
+    metrics enabled **with the telemetry sampler running** at an
+    aggressive interval (:data:`SAMPLER_BENCH_INTERVAL`, an upper bound
+    on the default 1 Hz cost).  Each layer's overhead is reported as a
+    separate percentage, so instrumented numbers are never compared
+    against uninstrumented baselines by accident.
+
+    ``telemetry_off_overhead_pct`` is reported as the structural 0.0 it
+    is: telemetry is a pure reader — no detection-path call site knows
+    the sampler exists, so with the sampler not running there is nothing
+    to measure (the only off-cost anywhere is the executor's single
+    ``HEARTBEATS.enabled`` boolean test per cell assignment).
+
     Restores the registry's enabled state afterwards.
     """
+    from repro.obs.telemetry import TelemetrySampler
+
     was_enabled = obs_metrics.metrics_enabled()
     try:
         obs_metrics.set_enabled(False)
@@ -641,16 +660,35 @@ def measure_obs_overhead(workloads, repeats: int = 1, seeds_limit: int = 1) -> d
         enabled = run_mode(
             workloads, fast_path="auto", repeats=repeats, seeds_limit=seeds_limit
         )
+        sampler = TelemetrySampler(interval=SAMPLER_BENCH_INTERVAL)
+        sampler.start()
+        try:
+            sampled = run_mode(
+                workloads, fast_path="auto", repeats=repeats,
+                seeds_limit=seeds_limit,
+            )
+        finally:
+            sampler.stop()
     finally:
         obs_metrics.set_enabled(was_enabled)
     off_eps = disabled["events_per_sec"]
     on_eps = enabled["events_per_sec"]
+    sampler_eps = sampled["events_per_sec"]
     return {
         "disabled_events_per_sec": off_eps,
         "enabled_events_per_sec": on_eps,
         "overhead_pct": (
             round((off_eps / on_eps - 1.0) * 100.0, 1) if on_eps else None
         ),
+        "telemetry_off_overhead_pct": 0.0,
+        "sampler_events_per_sec": sampler_eps,
+        "sampler_interval_s": SAMPLER_BENCH_INTERVAL,
+        "sampler_overhead_pct": (
+            round((on_eps / sampler_eps - 1.0) * 100.0, 1)
+            if sampler_eps
+            else None
+        ),
+        "sampler_ticks": len(sampler.samples()) + sampler.dropped,
     }
 
 
@@ -715,8 +753,21 @@ def main(argv=None) -> int:
         "--no-trace-throughput", action="store_true",
         help="skip the JSONL-vs-columnar trace decode/replay measurement",
     )
+    parser.add_argument(
+        "--attribution", action="store_true",
+        help="run the per-phase sampling profiler and embed its self-time "
+             "table under 'attribution' in the results JSON (opt-in so "
+             "profiler overhead never pollutes the timed numbers)",
+    )
+    parser.add_argument(
+        "--flamegraph-out", default=None, metavar="PATH",
+        help="with --attribution: write collapsed stacks here "
+             "(flamegraph.pl / speedscope input)",
+    )
     add_observability_args(parser)
     args = parser.parse_args(argv)
+    if args.flamegraph_out and not args.attribution:
+        parser.error("--flamegraph-out requires --attribution")
     begin_observability(args)
     logger = get_logger("bench")
 
@@ -752,10 +803,13 @@ def main(argv=None) -> int:
     # interleaved per cell so the fast/slow ratio is unbiased by process
     # warm-up order.
     mode_values = {m: ("auto" if m == "fast" else False) for m in modes}
+    if args.attribution:
+        obs_profiler.start_profiler()
     started = time.perf_counter()
-    summaries = run_modes(
-        workloads, mode_values, repeats=args.repeats, seeds_limit=args.seeds
-    )
+    with obs_profiler.phase("bench:modes"):
+        summaries = run_modes(
+            workloads, mode_values, repeats=args.repeats, seeds_limit=args.seeds
+        )
     wall = round(time.perf_counter() - started, 2)
     for mode in modes:
         summary = summaries[mode]
@@ -778,9 +832,10 @@ def main(argv=None) -> int:
         # The flight recorder's own cost, reported as a separate number so
         # instrumented runs are never compared against uninstrumented
         # baselines by accident.
-        result["obs_overhead"] = measure_obs_overhead(
-            workloads, repeats=args.repeats
-        )
+        with obs_profiler.phase("bench:obs_overhead"):
+            result["obs_overhead"] = measure_obs_overhead(
+                workloads, repeats=args.repeats
+            )
         overhead = result["obs_overhead"]
         output(
             f"observability overhead: {overhead['overhead_pct']}% "
@@ -788,16 +843,26 @@ def main(argv=None) -> int:
             f"{overhead['enabled_events_per_sec']:.0f} events/sec "
             f"with metrics on)"
         )
+        output(
+            f"telemetry overhead: {overhead['telemetry_off_overhead_pct']}% "
+            f"with the sampler off (pure reader, no hot-path hooks); "
+            f"sampler on-cost at {overhead['sampler_interval_s']}s interval: "
+            f"{overhead['sampler_overhead_pct']}% "
+            f"({overhead['enabled_events_per_sec']:.0f} -> "
+            f"{overhead['sampler_events_per_sec']:.0f} events/sec)"
+        )
 
     if not args.no_equivalence:
-        result["equivalence"] = equivalence_check(workloads)
+        with obs_profiler.phase("bench:equivalence"):
+            result["equivalence"] = equivalence_check(workloads)
         status = "identical" if result["equivalence"]["identical"] else "MISMATCH"
         output(f"replay equivalence (fast vs slow): {status}")
 
     if not args.no_shard_scaling:
-        result["shard_scaling"] = measure_shard_scaling(
-            workloads, repeats=args.repeats
-        )
+        with obs_profiler.phase("bench:shard_scaling"):
+            result["shard_scaling"] = measure_shard_scaling(
+                workloads, repeats=args.repeats
+            )
         scaling = result["shard_scaling"]
         line = ", ".join(
             f"{count}: {scaling['per_count'][str(count)]['events_per_sec']:.0f}"
@@ -809,9 +874,10 @@ def main(argv=None) -> int:
         output(f"shard scaling race sites across counts: {sites}")
 
     if not args.no_trace_throughput:
-        result["trace_throughput"] = measure_trace_throughput(
-            workloads, repeats=args.repeats
-        )
+        with obs_profiler.phase("bench:trace_throughput"):
+            result["trace_throughput"] = measure_trace_throughput(
+                workloads, repeats=args.repeats
+            )
         throughput = result["trace_throughput"]
         output(
             "trace decode events/sec: "
@@ -893,6 +959,26 @@ def main(argv=None) -> int:
             fast_over_slow, FAST_PATH_JITTER_ALLOWANCE * 100,
         )
         exit_code = exit_code or 4
+
+    if args.attribution:
+        profiler = obs_profiler.stop_profiler()
+        result["attribution"] = profiler.attribution()
+        attribution = result["attribution"]
+        output(
+            f"attribution: {attribution['samples']} samples at "
+            f"{attribution['interval_s'] * 1e3:.0f}ms over "
+            f"{attribution['wall_seconds']:.1f}s wall"
+        )
+        for name, row in attribution["phases"].items():
+            output(
+                f"  {name}: {row['seconds']:.2f}s self "
+                f"({row['share']:.1%}, {row['samples']} samples)"
+            )
+        if args.flamegraph_out:
+            stacks = profiler.write_collapsed(args.flamegraph_out)
+            output(
+                f"wrote {stacks} collapsed stacks to {args.flamegraph_out}"
+            )
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -318,6 +318,100 @@ def _fields_line(fields: Dict[str, int]) -> str:
     return " ".join(f"{k}={v}" for k, v in fields.items())
 
 
+def forensics_to_dict(forensics: RaceForensics) -> dict:
+    """The machine-readable form of one reconstructed race.
+
+    Deterministic for a pinned (workload, seed): replay fully determines
+    the event stream, so this is golden-file testable.  Metadata words
+    render as fixed-width hex strings (JSON numbers would lose the
+    visual field alignment and risk 2**63 precision traps downstream).
+    """
+    record = forensics.record
+    return {
+        "seed": forensics.seed,
+        "race": {
+            "type": str(record.race_type),
+            "kernel": record.kernel,
+            "ip": record.ip,
+            "access": record.access,
+            "address": f"0x{record.address:x}",
+            "location": record.location,
+            "warp_id": record.warp_id,
+            "lane": record.lane,
+            "block_id": record.block_id,
+            "prev_warp_id": record.prev_warp_id,
+            "prev_lane": record.prev_lane,
+        },
+        "condition": forensics.condition,
+        "condition_text": forensics.condition_text,
+        "racing_pair": {
+            "current_ip": forensics.current_ip,
+            "previous_ip": forensics.previous_ip,
+        },
+        "metadata_words": {
+            "accessor": f"0x{forensics.accessor_word_before:016x}",
+            "writer": f"0x{forensics.writer_word_before:016x}",
+            "accessor_fields": dict(forensics.accessor_fields),
+            "writer_fields": dict(forensics.writer_fields),
+        },
+        "metadata_history": [
+            {
+                "seq": tr.seq,
+                "ip": tr.ip,
+                "op": tr.op,
+                "accessor_before": f"0x{tr.accessor_before:016x}",
+                "writer_before": f"0x{tr.writer_before:016x}",
+                "accessor_after": f"0x{tr.accessor_after:016x}",
+                "writer_after": f"0x{tr.writer_after:016x}",
+                "outcome": tr.outcome,
+            }
+            for tr in forensics.metadata_history
+        ],
+        "lock_timeline": [
+            {
+                "seq": entry.seq,
+                "action": entry.action,
+                "ip": entry.ip,
+                "warp_id": entry.warp_id,
+                "lane": entry.lane,
+                "detail": entry.detail,
+            }
+            for entry in forensics.lock_timeline
+        ],
+        "window": [
+            {
+                "seq": entry.seq,
+                "ip": entry.ip,
+                "op": entry.op,
+                "address": (
+                    f"0x{entry.address:x}"
+                    if entry.address is not None
+                    else None
+                ),
+                "warp_id": entry.warp_id,
+                "lane": entry.lane,
+                "batch": entry.batch,
+            }
+            for entry in forensics.window
+        ],
+    }
+
+
+def render_json(reports: List[RaceForensics], shown: int) -> str:
+    """The ``--format json`` document: schema header + report list."""
+    import json
+
+    document = {
+        "schema": 1,
+        "generated_by": "repro.obs.forensics",
+        "matched": len(reports),
+        "reports": [
+            forensics_to_dict(forensics) for forensics in reports[:shown]
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
 def render_report(forensics: RaceForensics) -> str:
     """The human-readable explain report for one reconstructed race."""
     record = forensics.record
@@ -414,6 +508,11 @@ def main(argv=None) -> int:
         "--max-reports", type=int, default=4,
         help="print at most this many reconstructed races (default 4)",
     )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format: human-readable text (default) or a "
+             "machine-readable JSON document on stdout",
+    )
     add_observability_args(parser)
     args = parser.parse_args(argv)
     begin_observability(args)
@@ -439,9 +538,14 @@ def main(argv=None) -> int:
 
     finalize_observability(args)
     if not reports:
+        if args.format == "json":
+            output(render_json([], 0))
         target = args.site or "<any>"
         logger.warning("no race matching %r was reported during replay", target)
         return 1
+    if args.format == "json":
+        output(render_json(reports, max(1, args.max_reports)))
+        return 0
     shown = reports[: max(1, args.max_reports)]
     for index, forensics in enumerate(shown):
         if index:
