@@ -224,7 +224,7 @@ class Barracuda(Tool):
 
     def _dispatch(self, shard: int, event: MemoryEvent, launch: LaunchInfo) -> None:
         """Run the routed check now.  Batched drivers override to queue."""
-        self.cores[shard].check_memory(event, event.address, launch)
+        self.cores[shard].handle(event, event.address, launch)
 
     def _sync_barrier(self) -> None:
         """Quiesce shard queues before a sync-state mutation (see IGuard)."""

@@ -56,6 +56,7 @@ from repro.core.contention import ContentionModel, ContentionParams
 from repro.core.report import RaceLog
 from repro.core.syncstate import SyncMetadata
 from repro.core.uvm import ManagedMetadataSpace, UVMParams
+from repro.common.budget import mem_budget
 from repro.errors import ConfigError
 from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent
 from repro.gpu.instructions import AtomicOp
@@ -128,6 +129,20 @@ class IGuard(Tool):
         ]
         for core in self.cores:
             core.report_sink = self._report_sink
+        # IGUARD_MEM_BUDGET: bound total metadata growth by FIFO-evicting
+        # tables, the budget split evenly across shards.  Same degradation
+        # contract as metadata_max_entries — bounded recall loss, never a
+        # false positive — but unlike the config knob it composes with
+        # sharding: the operator asked for a memory ceiling, accepting
+        # that per-shard eviction order may hide different races than a
+        # serial run's would.
+        budget = mem_budget()
+        if budget is not None and config.metadata_max_entries is None:
+            per_core = max(
+                1, budget // config.metadata_entry_bytes // shards
+            )
+            for core in self.cores:
+                core.table.max_entries = per_core
         self.stats: List[LaunchStats] = []
         self._launch: Optional[LaunchInfo] = None
         self._contention: Optional[ContentionModel] = None
@@ -395,8 +410,14 @@ class IGuard(Tool):
     def _dispatch(
         self, shard: int, event: MemoryEvent, granule: int, launch: LaunchInfo
     ) -> None:
-        """Run the routed check now.  Batched drivers override to queue."""
-        self.cores[shard].check_memory(event, granule, launch, self._current)
+        """Run the routed check now.  Batched drivers override to queue.
+
+        Dispatching through :meth:`DetectorCore.handle` quarantines a
+        poison event (one whose check raises) instead of aborting — the
+        same absorption the batched drains apply, so all modes stay
+        byte-identical on every non-quarantined record.
+        """
+        self.cores[shard].handle(event, granule, launch, self._current)
 
     def _sync_barrier(self) -> None:
         """Quiesce shard queues before a sync-state mutation.

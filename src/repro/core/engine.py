@@ -47,6 +47,7 @@ from repro.core.config import IGuardConfig
 from repro.core.metadata import AccessorView, MetadataTable
 from repro.core.report import RaceLog, RaceRecord, RaceType
 from repro.core.syncstate import SyncMetadata
+from repro.faults.quarantine import poison as _poison
 from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
 from repro.gpu.instructions import AtomicOp, Scope
 from repro.instrument.timing import Category
@@ -181,11 +182,46 @@ class DetectorCore:
         """Run full detection for a memory event this core owns."""
         raise NotImplementedError
 
+    def handle(self, event, key, launch, stats=None) -> None:
+        """:meth:`check_memory` with poison-event quarantine around it.
+
+        The inline adapters dispatch through this so one raising event
+        is absorbed (:mod:`repro.faults.quarantine`) instead of aborting
+        the run; the batched drains get the same semantics from
+        :meth:`check_run`'s resume path, so a poison event quarantines
+        identically — same counter, same skipped check — in serial,
+        sharded, and columnar replays.
+        """
+        try:
+            self.check_memory(event, key, launch, stats)
+        except Exception as exc:
+            _poison(event, exc, "core")
+
     def check_run(self, run, launch, stats=None) -> None:
         """Check a queued run of routed ``(event, key)`` pairs in order."""
         check = self.check_memory
-        for event, key in run:
-            check(event, key, launch, stats)
+        event = None
+        try:
+            for event, key in run:
+                check(event, key, launch, stats)
+        except Exception as exc:
+            self._quarantine_resume(run, event, exc, launch, stats)
+
+    def _quarantine_resume(self, run, culprit, exc, launch, stats) -> None:
+        """Absorb a poison event mid-drain, then check the rest of the run.
+
+        ``culprit`` is the loop variable at raise time.  The recursion
+        depth is bounded by the quarantine's absorption budget —
+        :func:`repro.faults.quarantine.poison` re-raises once it is
+        spent (and immediately for exempt policy exceptions).
+        """
+        _poison(culprit, exc, "core")
+        for index, pair in enumerate(run):
+            if pair[0] is culprit:
+                rest = run[index + 1:]
+                if rest:
+                    self.check_run(list(rest), launch, stats)
+                return
 
     def drain_batch(self, run, launch, stats=None) -> None:
         """Batched drain entry point for the sharded queue drivers.
@@ -621,8 +657,12 @@ class IGuardCore(DetectorCore):
             # accounting, so an undecided kernel drains through it until
             # the window closes.
             check = self.check_memory
-            for event, granule in run:
-                check(event, granule, launch, stats)
+            event = None
+            try:
+                for event, granule in run:
+                    check(event, granule, launch, stats)
+            except Exception as exc:
+                self._quarantine_resume(run, event, exc, launch, stats)
             return
         lookup = self.table.lookup_granule
         elide = self._elide
@@ -631,44 +671,57 @@ class IGuardCore(DetectorCore):
         hits = 0
         prelim = 0
         labels: Dict[str, int] = {}
-        for event, granule in run:
-            cached = elide.get(granule)
-            if cached is None:
-                check(event, granule, launch, stats)
-                continue
-            sig = cached[0]
-            where = event.where
-            entry = lookup(granule)
-            if (
-                sig[4] == epoch
-                and sig[5] == entry.accessor_word
-                and sig[6] == entry.writer_word
-                and sig[1] is event.kind
-                and sig[0] == (where.warp_id, where.lane)
-                and sig[3] == event.active_mask
-                and sig[2] is event.scope
-            ):
-                entry.accessor_word = cached[2]
-                entry.writer_word = cached[3]
-                hits += 1
-                label = cached[1]
-                if label is not None:
-                    prelim += 1
-                    labels[label] = labels.get(label, 0) + 1
-            else:
-                check(event, granule, launch, stats)
-        if hits:
-            if stats is not None:
-                stats.accesses_checked += hits
-                stats.accesses_elided += hits
-                counts = stats.preliminary_pass
-                for label, n in labels.items():
-                    counts[label] = counts.get(label, 0) + n
-            if HOT.enabled:
-                HOT.detector_checked.inc(hits)
-                HOT.detector_elided.inc(hits)
-                if prelim:
-                    HOT.detector_prelim_pass.inc(prelim)
+        event = None
+        try:
+            for event, granule in run:
+                cached = elide.get(granule)
+                if cached is None:
+                    check(event, granule, launch, stats)
+                    continue
+                sig = cached[0]
+                where = event.where
+                entry = lookup(granule)
+                if (
+                    sig[4] == epoch
+                    and sig[5] == entry.accessor_word
+                    and sig[6] == entry.writer_word
+                    and sig[1] is event.kind
+                    and sig[0] == (where.warp_id, where.lane)
+                    and sig[3] == event.active_mask
+                    and sig[2] is event.scope
+                ):
+                    entry.accessor_word = cached[2]
+                    entry.writer_word = cached[3]
+                    hits += 1
+                    label = cached[1]
+                    if label is not None:
+                        prelim += 1
+                        labels[label] = labels.get(label, 0) + 1
+                else:
+                    check(event, granule, launch, stats)
+        except Exception as exc:
+            # Flush the elision accounting accrued so far *before* the
+            # resume recursion, so totals match the per-event path.
+            self._flush_elision(hits, prelim, labels, stats)
+            self._quarantine_resume(run, event, exc, launch, stats)
+            return
+        self._flush_elision(hits, prelim, labels, stats)
+
+    def _flush_elision(self, hits, prelim, labels, stats) -> None:
+        """Credit a drain's accumulated elision-hit accounting."""
+        if not hits:
+            return
+        if stats is not None:
+            stats.accesses_checked += hits
+            stats.accesses_elided += hits
+            counts = stats.preliminary_pass
+            for label, n in labels.items():
+                counts[label] = counts.get(label, 0) + n
+        if HOT.enabled:
+            HOT.detector_checked.inc(hits)
+            HOT.detector_elided.inc(hits)
+            if prelim:
+                HOT.detector_prelim_pass.inc(prelim)
 
     # -- accessor-history ablation (section 6.7) ---------------------------
 
@@ -1016,11 +1069,8 @@ class HBCore(DetectorCore):
                 self.report_race(event, launch)
                 return
 
-    def check_run(self, run, launch, stats=None) -> None:
-        """Check a queued run of routed ``(event, address)`` pairs in order."""
-        check = self.check_memory
-        for event, address in run:
-            check(event, address, launch, stats)
+    # check_run: the base implementation (with its quarantine resume
+    # path) already checks pairs in order; no HB-specific batching.
 
     def report_race(self, event: MemoryEvent, launch) -> None:
         where = event.where

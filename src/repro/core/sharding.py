@@ -53,10 +53,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.baselines.fasttrack import FastTrack
+from repro.common.budget import queue_cap
 from repro.core.config import DEFAULT_CONFIG, IGuardConfig
 from repro.core.detector import IGuard
 from repro.core.report import RaceRecord, merge_race_records
 from repro.errors import OutOfMemoryError, TimeoutError_, UnsupportedFeatureError
+from repro.faults.quarantine import poison as _poison
 from repro.gpu.events import (
     AccessKind,
     AllocEvent,
@@ -152,6 +154,12 @@ class BatchShardedIGuard(IGuard):
         #: shard-scaling forensics read this (deep queues at low shard
         #: counts mean drains serialize on one hot shard).
         self.queue_depth_max = 0
+        #: Queued events since the last drain; at ``queue_cap()`` the
+        #: producer forces an early drain (blocking backpressure), so an
+        #: adversarial barrier-free stream cannot grow queues unboundedly.
+        #: Output-identical: drains between sync mutations are
+        #: order-equivalent, and deferred records re-sort at launch end.
+        self._pending = 0
 
     def _report_sink(self, record, md) -> bool:
         self._deferred.append(record)
@@ -159,8 +167,14 @@ class BatchShardedIGuard(IGuard):
 
     def _dispatch(self, shard, event, granule, launch) -> None:
         self._queues[shard].append((event, granule))
+        self._pending += 1
+        if self._pending >= queue_cap():
+            self._sync_barrier()
+            if HOT.enabled:
+                HOT.backpressure_drains.inc()
 
     def _sync_barrier(self) -> None:
+        self._pending = 0
         launch = self._launch
         if launch is None:
             return
@@ -222,6 +236,8 @@ class BatchShardedFastTrack(FastTrack):
         self._deferred: List[RaceRecord] = []
         self._launch = None
         self.queue_depth_max = 0
+        #: See BatchShardedIGuard._pending — bounded-queue backpressure.
+        self._pending = 0
 
     def _report_sink(self, record, md) -> bool:
         self._deferred.append(record)
@@ -234,8 +250,14 @@ class BatchShardedFastTrack(FastTrack):
 
     def _dispatch(self, shard, event, launch) -> None:
         self._queues[shard].append((event, event.address))
+        self._pending += 1
+        if self._pending >= queue_cap():
+            self._sync_barrier()
+            if HOT.enabled:
+                HOT.backpressure_drains.inc()
 
     def _sync_barrier(self) -> None:
+        self._pending = 0
         launch = self._launch
         if launch is None:
             return
@@ -327,6 +349,8 @@ class _ShardedDrain:
         self._n_checked = self._n_coalesced = self._n_sync = 0
         self._uvm_cycles = self._stall_cycles = 0.0
         self._routed: List[int] = []
+        #: Events queued since the last drain (backpressure counter).
+        self._pending = 0
 
     def feed(self, events, routes=None) -> None:
         """Replay one slice of the stream (a chunk, or the whole trace)."""
@@ -369,17 +393,21 @@ class _ShardedDrain:
             apply_sync = tool.cores[0].apply_sync
             granule_of = tool.cores[0].table.granule_of
 
+        q_cap = queue_cap()
+        pending = self._pending
         started = time.perf_counter()
         for event in events:
-            kind = type(event)
+          kind = type(event)
+          # Poison-event quarantine around one record's dispatch: a
+          # raising event is absorbed (bounded, repro.faults.quarantine)
+          # and the drain continues; policy exceptions re-raise.
+          try:
             if kind is mem_cls:
                 # Inlined fast front-end of IGuard.on_memory: bulk-charged
-                # fixed costs, stateful models in stream order.
-                access = event.kind
-                if access is atomic_kind:
-                    if event.atomic_op is cas_op or event.atomic_op is exch_op:
-                        sync_barrier()
-                    infer_locks(event)
+                # fixed costs, stateful models in stream order.  Routing
+                # is consumed first (pure lookup): a poison event raising
+                # below must not desynchronize the precomputed route
+                # iterator from the remaining memory events.
                 if route_next is not None:
                     granule, shard = route_next()
                 else:
@@ -389,6 +417,12 @@ class _ShardedDrain:
                         if multi
                         else 0
                     )
+                access = event.kind
+                if access is atomic_kind:
+                    if event.atomic_op is cas_op or event.atomic_op is exch_op:
+                        sync_barrier()
+                        pending = 0
+                    infer_locks(event)
                 if coalescing and (access is load_kind or access is atomic_kind):
                     batch = event.batch
                     if batch == co_batch and granule == co_granule:
@@ -409,8 +443,19 @@ class _ShardedDrain:
                 n_checked += 1
                 routed[shard] += 1
                 shard_appends[shard]((event, granule))
+                pending += 1
+                if pending >= q_cap:
+                    # Backpressure: bounded queues, the producer pays for
+                    # the early drain.  Output-identical — runs between
+                    # sync mutations are order-equivalent and deferred
+                    # records re-sort at launch end.
+                    sync_barrier()
+                    pending = 0
+                    if HOT.enabled:
+                        HOT.backpressure_drains.inc()
             elif kind is sync_cls:
                 sync_barrier()
+                pending = 0
                 apply_sync(event, launch)
                 n_sync += 1
             elif kind is launch_cls:
@@ -502,9 +547,12 @@ class _ShardedDrain:
                     )
                 )
                 launch = None
+                pending = 0
             elif kind is alloc_cls:
                 device.memory.restore(event)
             # GPUConfig headers / RunMarkers carry no detector work.
+          except Exception as exc:
+            _poison(event, exc, "drain")
         self.seconds += time.perf_counter() - started
 
         # Cross-chunk state back out.
@@ -521,6 +569,7 @@ class _ShardedDrain:
         self._n_sync = n_sync
         self._uvm_cycles, self._stall_cycles = uvm_cycles, stall_cycles
         self._routed = routed
+        self._pending = pending
 
     def result(self) -> ShardedReplayResult:
         return ShardedReplayResult(
@@ -645,7 +694,7 @@ class _ShardReplicaIGuard(IGuard):
 
     def _dispatch(self, shard, event, granule, launch) -> None:
         if shard == self._shard_index:
-            self.cores[0].check_memory(event, granule, launch, self._current)
+            self.cores[0].handle(event, granule, launch, self._current)
 
 
 @dataclass

@@ -41,12 +41,20 @@ from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from dataclasses import asdict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import TraceCorruptionError
+from repro.common.budget import (
+    MAX_POOL_STRINGS,
+    block_limit,
+    line_limit,
+    mem_budget,
+    pool_byte_limit,
+)
+from repro.errors import ConfigError, TraceCorruptionError
 from repro.gpu.arch import GPUConfig
 from repro.gpu.events import (
     AccessKind,
@@ -107,7 +115,54 @@ def _write_block(handle, array) -> None:
 
 
 def _read_block(handle):
-    return np.lib.format.read_array(handle, allow_pickle=False)
+    """Read one 1-D column block with its declared size pre-validated.
+
+    ``np.lib.format.read_array`` allocates whatever the npy header
+    declares *before* reading a byte, so a fuzzed header claiming a
+    terabyte column would OOM the process.  Validating the header's
+    shape and byte count against the decoder budget first turns that
+    into an ordinary :class:`TraceCorruptionError` (via the caller's
+    ``ValueError`` catch).  The returned array is a read-only view of
+    the block bytes; decode never mutates columns.
+    """
+    try:
+        magic = np.lib.format.read_magic(handle)
+        if magic == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif magic == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(f"unsupported npy block version {magic}")
+    except (ValueError, EOFError, OSError):
+        raise
+    except Exception as exc:
+        # numpy parses the header dict with a Python literal evaluator;
+        # fuzzed header bytes surface as TokenError/SyntaxError/KeyError
+        # and friends.  Normalize to the decoder's corruption type.
+        raise ValueError(f"malformed npy block header: {exc!r}") from exc
+    if dtype.hasobject:
+        raise ValueError("object-dtype column block rejected")
+    if fortran or not 1 <= len(shape) <= 2:
+        raise ValueError(f"column block must be a 1/2-D C array, got {shape}")
+    count = 1
+    for dim in shape:
+        if dim < 0:
+            raise ValueError(f"column block declares shape {shape}")
+        count *= int(dim)
+    nbytes = count * dtype.itemsize
+    cap = block_limit()
+    if nbytes > cap:
+        raise ValueError(
+            f"column block declares {nbytes} bytes, over the "
+            f"{cap}-byte decoder budget"
+        )
+    data = handle.read(nbytes)
+    if len(data) != nbytes:
+        raise EOFError(
+            f"column block truncated: wanted {nbytes} bytes, "
+            f"got {len(data)}"
+        )
+    return np.frombuffer(data, dtype=dtype).reshape(shape)
 
 
 # ---------------------------------------------------------------------------
@@ -116,18 +171,48 @@ def _read_block(handle):
 
 
 class _PoolWriter:
-    """File-level string pool: dedupes and tracks per-chunk fresh entries."""
+    """File-level string pool: dedupes and tracks per-chunk fresh entries.
 
-    def __init__(self):
+    The dedup memo is the only structure a pathological stream (every IP
+    string unique) can grow without bound on the *write* side, so it is
+    capped by ``IGUARD_MEM_BUDGET``: past the budget the oldest memo
+    entries are FIFO-evicted.  Eviction only forgets that a string was
+    pooled — a re-encountered string is simply appended to the file pool
+    again under a fresh index, so the container stays bit-exact to
+    decode and only its dedup ratio degrades.
+    """
+
+    def __init__(self, byte_budget: Optional[int] = None):
         self._index: Dict[str, int] = {}
         self._fresh: List[str] = []
+        #: Next pool index — monotonically increasing, never reused, so
+        #: writer indices always match the reader's ever-growing pool
+        #: list even after memo evictions.
+        self._next = 0
+        self._bytes = 0
+        self._budget = byte_budget
+        self.evictions = 0
 
     def add(self, value: str) -> int:
         index = self._index.get(value)
         if index is None:
-            index = len(self._index)
+            index = self._next
+            self._next += 1
             self._index[value] = index
             self._fresh.append(value)
+            budget = self._budget
+            if budget is not None:
+                self._bytes += len(value)
+                entries = self._index
+                while self._bytes > budget and len(entries) > 1:
+                    oldest = next(iter(entries))
+                    if oldest == value:
+                        break
+                    del entries[oldest]
+                    self._bytes -= len(oldest)
+                    self.evictions += 1
+                    if HOT.enabled:
+                        HOT.pool_memo_evictions.inc()
         return index
 
     def take_fresh(self) -> List[str]:
@@ -190,7 +275,7 @@ def write_columnar(handle, events, chunk_rows: int = CHUNK_ROWS) -> None:
     }
     handle.write(json.dumps(header, separators=(",", ":")).encode("utf-8"))
     handle.write(b"\n")
-    pool = _PoolWriter()
+    pool = _PoolWriter(byte_budget=mem_budget())
     for start in range(0, len(events), max(1, chunk_rows)):
         _write_chunk(handle, events[start:start + chunk_rows], pool)
 
@@ -575,12 +660,14 @@ def iter_chunks(source, path: Optional[str] = None) -> Iterator[Chunk]:
 
 def _iter_chunks_handle(handle, path: str) -> Iterator[Chunk]:
     pool: List[str] = []
+    pool_bytes = 0
     memos = ({}, {}, {})  # locations, masks, decoded JSON values
     recovered = 0
     block = 1  # the file header is block 1; chunks follow
     last_good = 0
+    line_cap = line_limit()
     try:
-        header_line = handle.readline()
+        header_line = handle.readline(line_cap)
         header = json.loads(header_line)
         if header.get("format") != FORMAT_NAME:
             raise ValueError(f"not a {FORMAT_NAME} file")
@@ -591,14 +678,24 @@ def _iter_chunks_handle(handle, path: str) -> Iterator[Chunk]:
         declared = int(header["events"])
         last_good = handle.tell()
         while True:
-            line = handle.readline()
+            line = handle.readline(line_cap)
             if not line:
                 break
             block += 1
             chunk_header = json.loads(line)
             rows = int(chunk_header["rows"])
             counts = chunk_header["counts"]
-            pool.extend(chunk_header.get("strings", ()))
+            strings = chunk_header.get("strings", ())
+            pool_bytes += sum(len(s) for s in strings)
+            if (
+                len(pool) + len(strings) > MAX_POOL_STRINGS
+                or pool_bytes > pool_byte_limit()
+            ):
+                raise ValueError(
+                    f"string pool exceeds the decoder budget after "
+                    f"{len(pool) + len(strings)} entries"
+                )
+            pool.extend(strings)
             et = _read_block(handle)
             if len(et) != rows:
                 raise ValueError(
@@ -643,7 +740,8 @@ def _iter_chunks_handle(handle, path: str) -> Iterator[Chunk]:
         raise
     except (
         json.JSONDecodeError, KeyError, ValueError, TypeError, IndexError,
-        EOFError, UnicodeDecodeError, gzip.BadGzipFile, OSError,
+        EOFError, UnicodeDecodeError, gzip.BadGzipFile, zlib.error, OSError,
+        RecursionError, ConfigError,
     ) as exc:
         raise TraceCorruptionError(
             path, block, last_good,
@@ -664,7 +762,10 @@ def read_events(source, salvage: bool = False, path: Optional[str] = None):
         for chunk in iter_chunks(source, path=path):
             try:
                 chunk_events = chunk.events()
-            except (IndexError, KeyError, ValueError, TypeError) as exc:
+            except (
+                IndexError, KeyError, ValueError, TypeError, RecursionError,
+                ConfigError,
+            ) as exc:
                 corruption = TraceCorruptionError(
                     path or str(source), chunk.ordinal, chunk.start_offset,
                     f"{type(exc).__name__}: {exc}",

@@ -370,6 +370,17 @@ class _Supervisor:
 
     def run(self) -> List:
         num_items = len(self.items)
+        try:
+            return self._run_loop(num_items)
+        except (RetryExhaustedError, WorkerCrashError) as exc:
+            # Salvage contract: hand callers everything that *did*
+            # complete, so a suite run can emit a partial report with a
+            # failed_cells block instead of dying report-less.
+            exc.partial_results = dict(self.results)
+            exc.total_items = num_items
+            raise
+
+    def _run_loop(self, num_items: int) -> List:
         last_heartbeat = perf_counter()
         try:
             while len(self.results) < num_items:

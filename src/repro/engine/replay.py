@@ -31,6 +31,7 @@ from repro.errors import (
     TimeoutError_,
     UnsupportedFeatureError,
 )
+from repro.faults import quarantine
 from repro.gpu.arch import GPUConfig, TITAN_RTX
 from repro.gpu.costs import CostParams, DEFAULT_COSTS
 from repro.gpu.device import Device, KernelRun
@@ -144,53 +145,72 @@ def replay(
             continue
         if HOT.enabled:
             HOT.replay_events.inc()
-        if isinstance(event, AllocEvent):
-            device.bus.publish_alloc(device.memory.restore(event))
-        elif isinstance(event, LaunchEvent):
-            launch = LaunchInfo(
-                kernel_name=event.kernel_name,
-                grid_dim=event.grid_dim,
-                block_dim=event.block_dim,
-                warp_size=event.warp_size,
-                warps_per_block=event.warps_per_block,
-                num_threads=event.num_threads,
-                timing=TimingBreakdown(parallelism=event.parallelism),
-                device=device,
-                seed=event.seed,
-                static_instruction_count=event.static_instruction_count,
-            )
-            device.bus.publish_launch_begin(launch)
-        elif isinstance(event, MemoryEvent):
-            device.bus.publish_memory(event, launch)
-        elif isinstance(event, SyncEvent):
-            device.bus.publish_sync(event, launch)
-        elif isinstance(event, KernelEndEvent):
-            # Rebuild the native account before finalizing tools: iGUARD's
-            # end-of-launch charges are fractions of native time.
-            launch.timing.charge(Category.NATIVE, event.native_parallel)
-            launch.timing.charge(
-                Category.NATIVE, event.native_serial, serial=True
-            )
-            if event.timed_out:
-                device.bus.publish_timeout(launch)
-            else:
-                device.bus.publish_launch_end(launch)
-            run = KernelRun(
-                kernel_name=event.kernel_name,
-                grid_dim=launch.grid_dim,
-                block_dim=launch.block_dim,
-                num_threads=launch.num_threads,
-                batches=event.batches,
-                instructions=event.instructions,
-                timed_out=event.timed_out,
-                timing=launch.timing,
-            )
-            device.runs.append(run)
-            device.bus.publish_kernel_end(run, launch)
-            launch = None
-        else:
-            raise TypeError(f"unexpected trace event {event!r}")
+        try:
+            launch = _replay_one(device, event, launch)
+        except (
+            UnsupportedFeatureError, OutOfMemoryError, TimeoutError_,
+            DeadlockError,
+        ):
+            # Policy signals propagate mid-stream exactly as they would
+            # mid-execution (the docstring's contract).
+            raise
+        except Exception as exc:
+            # Poison-event quarantine: one malformed record must not
+            # abort a million-event replay.  poison() re-raises exempt
+            # exceptions and overflows past the absorption budget.
+            quarantine.poison(event, exc, "replay")
     return device
+
+
+def _replay_one(device, event, launch: Optional[LaunchInfo]):
+    """Dispatch one trace record; returns the (possibly new) launch."""
+    if isinstance(event, AllocEvent):
+        device.bus.publish_alloc(device.memory.restore(event))
+    elif isinstance(event, LaunchEvent):
+        launch = LaunchInfo(
+            kernel_name=event.kernel_name,
+            grid_dim=event.grid_dim,
+            block_dim=event.block_dim,
+            warp_size=event.warp_size,
+            warps_per_block=event.warps_per_block,
+            num_threads=event.num_threads,
+            timing=TimingBreakdown(parallelism=event.parallelism),
+            device=device,
+            seed=event.seed,
+            static_instruction_count=event.static_instruction_count,
+        )
+        device.bus.publish_launch_begin(launch)
+    elif isinstance(event, MemoryEvent):
+        device.bus.publish_memory(event, launch)
+    elif isinstance(event, SyncEvent):
+        device.bus.publish_sync(event, launch)
+    elif isinstance(event, KernelEndEvent):
+        # Rebuild the native account before finalizing tools: iGUARD's
+        # end-of-launch charges are fractions of native time.
+        launch.timing.charge(Category.NATIVE, event.native_parallel)
+        launch.timing.charge(
+            Category.NATIVE, event.native_serial, serial=True
+        )
+        if event.timed_out:
+            device.bus.publish_timeout(launch)
+        else:
+            device.bus.publish_launch_end(launch)
+        run = KernelRun(
+            kernel_name=event.kernel_name,
+            grid_dim=launch.grid_dim,
+            block_dim=launch.block_dim,
+            num_threads=launch.num_threads,
+            batches=event.batches,
+            instructions=event.instructions,
+            timed_out=event.timed_out,
+            timing=launch.timing,
+        )
+        device.runs.append(run)
+        device.bus.publish_kernel_end(run, launch)
+        launch = None
+    else:
+        raise TypeError(f"unexpected trace event {event!r}")
+    return launch
 
 
 def capture_workload(

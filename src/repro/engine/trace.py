@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import TraceCorruptionError
+from repro.common.budget import line_limit
+from repro.errors import ConfigError, TraceCorruptionError
 from repro.gpu.arch import GPUConfig
 from repro.gpu.events import (
     AccessKind,
@@ -355,17 +357,30 @@ class Trace:
         line_number = 0
         last_good_offset = 0
         corruption: Optional[TraceCorruptionError] = None
+        cap = line_limit()
         try:
             with opener(path, "rt", encoding="utf-8") as handle:
-                for line in handle:
+                while True:
+                    # Bounded reads: a decompression bomb or corrupt
+                    # length field cannot materialize an arbitrarily
+                    # long "line" before the cap is checked.
+                    line = handle.readline(cap + 1)
+                    if not line:
+                        break
                     line_number += 1
                     stripped = line.strip()
                     if stripped:
                         try:
+                            if len(line) > cap:
+                                raise ValueError(
+                                    f"line exceeds the {cap}-byte "
+                                    f"decoder limit"
+                                )
                             events.append(decode_event(json.loads(stripped)))
                         except (
                             json.JSONDecodeError, KeyError, ValueError,
-                            TypeError, IndexError,
+                            TypeError, IndexError, RecursionError,
+                            ConfigError,
                         ) as exc:
                             corruption = TraceCorruptionError(
                                 path, line_number, last_good_offset,
@@ -374,8 +389,12 @@ class Trace:
                             )
                             break
                     last_good_offset += len(line.encode("utf-8"))
-        except (EOFError, UnicodeDecodeError, gzip.BadGzipFile, OSError) as exc:
-            # A clipped gzip stream (or undecodable bytes) surfaces from
+        except (
+            EOFError, UnicodeDecodeError, gzip.BadGzipFile, zlib.error,
+            OSError,
+        ) as exc:
+            # A clipped gzip stream, corrupt deflate bytes (zlib.error
+            # bypasses BadGzipFile), or undecodable text surfaces from
             # the reader itself, not from a parsed line.
             corruption = TraceCorruptionError(
                 path, line_number + 1, last_good_offset,
@@ -411,24 +430,35 @@ def stream_events(path) -> Iterator:
     opener = gzip.open if str(path).endswith(".gz") else open
     line_number = 0
     last_good_offset = 0
+    cap = line_limit()
     try:
         with opener(path, "rt", encoding="utf-8") as handle:
-            for line in handle:
+            while True:
+                line = handle.readline(cap + 1)
+                if not line:
+                    break
                 line_number += 1
                 stripped = line.strip()
                 if stripped:
                     try:
+                        if len(line) > cap:
+                            raise ValueError(
+                                f"line exceeds the {cap}-byte decoder limit"
+                            )
                         yield decode_event(json.loads(stripped))
                     except (
                         json.JSONDecodeError, KeyError, ValueError,
-                        TypeError, IndexError,
+                        TypeError, IndexError, RecursionError,
+                        ConfigError,
                     ) as exc:
                         raise TraceCorruptionError(
                             path, line_number, last_good_offset,
                             f"{type(exc).__name__}: {exc}",
                         ) from exc
                 last_good_offset += len(line.encode("utf-8"))
-    except (EOFError, UnicodeDecodeError, gzip.BadGzipFile, OSError) as exc:
+    except (
+        EOFError, UnicodeDecodeError, gzip.BadGzipFile, zlib.error, OSError,
+    ) as exc:
         raise TraceCorruptionError(
             path, line_number + 1, last_good_offset,
             f"{type(exc).__name__}: {exc}",

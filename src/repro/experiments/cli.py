@@ -12,6 +12,9 @@ Two non-experiment subcommands ride the same entry point:
 - ``iguard-experiments trace <capture|convert|info|replay>`` — trace
   container tooling for both on-disk formats, JSONL and columnar
   (:mod:`repro.experiments.tracecli`);
+- ``iguard-experiments fuzz`` / ``iguard-experiments minimize`` — the
+  differential fuzz campaign, triage-corpus replay, and ddmin
+  re-minimization (:mod:`repro.faults.fuzz`);
 - the observability flags (``--log-level``, ``--metrics-out``,
   ``--trace-out``) apply to any experiment run.
 """
@@ -46,6 +49,16 @@ def main(argv=None) -> int:
         from repro.experiments.tracecli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        # Differential fuzz campaign / corpus replay, same early dispatch.
+        from repro.faults.fuzz import main as fuzz_main
+
+        return fuzz_main(argv[1:])
+    if argv and argv[0] == "minimize":
+        # ddmin re-minimization of a triage-corpus entry.
+        from repro.faults.fuzz import minimize_main
+
+        return minimize_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="iguard-experiments",

@@ -276,6 +276,10 @@ class _HotMetrics:
         self.checkpoint_reused = registry.counter("checkpoint.cells_reused")
         # Metadata-table pressure (graceful degradation knob).
         self.metadata_evictions = registry.counter("detector.metadata.evictions")
+        # Poison-event quarantine and resource budgets (repro.faults.fuzz).
+        self.quarantined_events = registry.counter("quarantine.events")
+        self.backpressure_drains = registry.counter("shard.backpressure_drains")
+        self.pool_memo_evictions = registry.counter("trace.pool_memo_evictions")
         # Sharded detection core (repro.core.sharding).
         self.shard_routed = registry.counter("shard.events_routed")
         self.shard_broadcast = registry.counter("shard.events_broadcast")

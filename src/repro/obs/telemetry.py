@@ -67,6 +67,11 @@ class Heartbeats:
     so a plain run never takes the lock.
     """
 
+    #: Bound on tracked workers: crash-looping executors recycle pids, and
+    #: an unbounded map would grow for the life of the run.  FIFO eviction
+    #: of the oldest record — liveness data, not accounting.
+    MAX_WORKERS = 1024
+
     def __init__(self) -> None:
         self.enabled = False
         self._lock = threading.Lock()
@@ -81,6 +86,8 @@ class Heartbeats:
             )
             record.update(fields)
             record["updated"] = now
+            while len(self._workers) > self.MAX_WORKERS:
+                self._workers.pop(next(iter(self._workers)))
 
     def finish_cell(self, pid: int, ok: bool = True) -> None:
         """Mark ``pid`` idle after a cell result (done or error)."""

@@ -20,6 +20,10 @@ small set of operational verdicts:
 ``retry_burn``
     Cell retries are burning budget faster than the per-minute
     threshold; at this rate the run ends in ``RetryExhaustedError``.
+``event_quarantine``
+    Poison events have been quarantined (``quarantine.events`` total) —
+    detection kept going but skipped raising records, so recall is
+    degraded the same bounded way ``metadata_max_entries`` degrades it.
 
 Each rule fires at most one leveled warning per subject (worker pid,
 rule name) but keeps updating the finding's ``last_seen``/``worst``
@@ -33,7 +37,7 @@ Thresholds come from :class:`WatchdogConfig`, overridable with the
 ``IGUARD_WATCHDOG`` env spec (``key=value`` pairs, comma-separated, same
 grammar as ``IGUARD_CHAOS``): ``stall_s``, ``imbalance_ratio``,
 ``imbalance_min_events``, ``churn_ratio``, ``churn_min_decisions``,
-``retries_per_min``.
+``retries_per_min``, ``quarantine_events``.
 """
 
 from __future__ import annotations
@@ -66,6 +70,10 @@ class WatchdogConfig:
     churn_min_decisions: int = 8
     #: Retry deltas scaled to a per-minute rate above this fire retry_burn.
     retries_per_min: float = 6.0
+    #: Cumulative quarantined (poison) events at or above this fire
+    #: event_quarantine — detection is degrading by absorbing raising
+    #: records (see repro.faults.quarantine).
+    quarantine_events: int = 1
 
     @classmethod
     def from_env(cls, spec: Optional[str] = None) -> "WatchdogConfig":
@@ -93,6 +101,7 @@ class WatchdogConfig:
             "churn_ratio": self.churn_ratio,
             "churn_min_decisions": self.churn_min_decisions,
             "retries_per_min": self.retries_per_min,
+            "quarantine_events": self.quarantine_events,
         }
 
 
@@ -149,6 +158,7 @@ class Watchdog:
         fired.extend(self._check_shard_imbalance(totals, now))
         fired.extend(self._check_fastpath_churn(totals, now))
         fired.extend(self._check_retry_burn(sample, now))
+        fired.extend(self._check_quarantine(totals, now))
         return fired
 
     def _check_worker_stall(
@@ -264,6 +274,28 @@ class Watchdog:
                 detail={"retries_delta": delta,
                         "per_min": round(per_min, 2),
                         "interval_s": round(interval, 3)},
+            )
+        ]
+
+    def _check_quarantine(
+        self, totals: Dict[str, dict], now: float
+    ) -> List[Finding]:
+        absorbed = totals.get("quarantine.events", {}).get("value", 0)
+        if absorbed < self.config.quarantine_events:
+            return []
+        return [
+            self._record(
+                rule="event_quarantine",
+                subject="quarantine",
+                level="warning",
+                message=(
+                    f"{absorbed} poison event(s) quarantined — detection "
+                    f"continued but skipped raising records; see the "
+                    f"report's quarantine block"
+                ),
+                value=float(absorbed),
+                now=now,
+                detail={"events": absorbed},
             )
         ]
 

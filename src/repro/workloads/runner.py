@@ -32,8 +32,10 @@ from repro.engine.parallel import parallel_map
 from repro.errors import (
     DeadlockError,
     OutOfMemoryError,
+    RetryExhaustedError,
     TimeoutError_,
     UnsupportedFeatureError,
+    WorkerCrashError,
 )
 from repro.gpu.arch import GPUConfig
 from repro.gpu.device import Device
@@ -190,13 +192,16 @@ def _merge_outcomes(
     and ``oom`` abort immediately and discard earlier seeds; ``timeout``
     keeps that seed's races/timing and stops consuming further seeds
     (with a lazy iterable, later seeds are never even executed); a
-    deadlock only annotates ``detail``.
+    deadlock only annotates ``detail``.  ``failed`` outcomes (cells lost
+    to worker crashes / exhausted retries) are collected into
+    ``failed_cells`` and the merged status degrades to ``partial``.
     """
     sites: Dict[str, str] = {}
     overheads: List[float] = []
     native_times: List[float] = []
     total_times: List[float] = []
     breakdown: dict = {}
+    failed: List[str] = []
     status, detail = "ok", ""
 
     for outcome in outcomes:
@@ -207,6 +212,11 @@ def _merge_outcomes(
                 status=outcome.status,
                 detail=outcome.detail,
             )
+        if outcome.status == "failed":
+            # A crashed/retry-exhausted cell: keep merging the seeds that
+            # did complete and surface the loss as a partial result.
+            failed.append(outcome.detail)
+            continue
         if outcome.detail:
             detail = outcome.detail
         if outcome.status == "timeout":
@@ -220,6 +230,8 @@ def _merge_outcomes(
         if status == "timeout":
             break
 
+    if failed and status == "ok":
+        status = "partial"
     return WorkloadResult(
         workload=workload_name,
         detector=detector,
@@ -232,6 +244,7 @@ def _merge_outcomes(
         total_time=sum(total_times) / len(total_times) if total_times else 0.0,
         breakdown=breakdown,
         detail=detail,
+        failed_cells=tuple(failed),
     )
 
 
@@ -274,13 +287,27 @@ def _run_tasks(
         if journal is not None:
             journal.record(keys[submit[position]], ckpt.encode_outcome(outcome))
 
-    fresh = parallel_map(
-        _run_seed_task,
-        [tasks[i] for i in submit],
-        workers,
-        hard_timeout=cell_timeout,
-        on_result=_journal_result,
-    )
+    try:
+        fresh = parallel_map(
+            _run_seed_task,
+            [tasks[i] for i in submit],
+            workers,
+            hard_timeout=cell_timeout,
+            on_result=_journal_result,
+        )
+    except (RetryExhaustedError, WorkerCrashError) as exc:
+        # Degrade, don't die: cells that completed before the failure
+        # stand (already journaled), the missing ones become "failed"
+        # outcomes the merge surfaces as a partial result with a
+        # failed_cells block.
+        partial = getattr(exc, "partial_results", {})
+        fresh = [partial.get(position) for position in range(len(submit))]
+        for position, outcome in enumerate(fresh):
+            if outcome is None:
+                fresh[position] = SeedOutcome(
+                    status="failed",
+                    detail=f"{tasks[submit[position]]}: {exc}",
+                )
     for position, outcome in zip(submit, fresh):
         outcomes[position] = outcome
     return outcomes
@@ -571,6 +598,16 @@ def main(argv=None) -> int:
         output(f"  [{race_type}] {ip}")
     if result.detail:
         logger.info("detail: %s", result.detail)
+    for cell in result.failed_cells:
+        logger.error("failed cell: %s", cell)
+    from repro.faults import quarantine
+
+    quarantine_block = quarantine.report_block()
+    if quarantine_block is not None:
+        logger.warning(
+            "quarantine: %d poison event(s) absorbed",
+            quarantine_block["events"],
+        )
     if args.report_json:
         import json
 
@@ -586,11 +623,18 @@ def main(argv=None) -> int:
             "breakdown": dict(sorted(result.breakdown.items())),
             "detail": result.detail,
         }
+        if result.failed_cells:
+            payload["failed_cells"] = list(result.failed_cells)
+        if quarantine_block is not None:
+            payload["quarantine"] = quarantine_block
         with open(args.report_json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
     finalize_observability(args)
-    return 0
+    # Exit 3 is the "partial report emitted" code: some cells were lost
+    # to crashes/retry exhaustion but the merged report above is valid
+    # for everything that completed.
+    return 3 if result.failed_cells else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,739 @@
+"""Adversarial-input hardening: fuzzer, ddmin, quarantine, budgets.
+
+Pins the four planks of the hardening PR:
+
+- resource budgets (``IGUARD_MEM_BUDGET`` / ``IGUARD_QUEUE_CAP`` /
+  ``IGUARD_QUARANTINE``) degrade detection by recall only — never a
+  false positive, never an abort, and never a report that differs
+  between serial and sharded modes;
+- poison-event quarantine absorbs a raising record identically in every
+  replay mode (byte-identical sites + quarantine block across serial,
+  inline-sharded, batched-drain, and routed-drain replays);
+- the ddmin minimizer and the differential fuzzer are deterministic and
+  the shipped triage corpus replays clean;
+- the suite executor degrades to a partial merged report (distinct exit
+  code, ``failed_cells`` block) instead of dying when a cell exhausts
+  its retries, and ``--resume`` after a mid-run kill reproduces the
+  uninterrupted report byte for byte with ``--shards N`` active.
+"""
+
+import base64
+import gzip
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.common.budget import (
+    DEFAULT_QUARANTINE_LIMIT,
+    DEFAULT_QUEUE_CAP,
+    MAX_LINE_BYTES,
+    mem_budget,
+    parse_bytes,
+    quarantine_limit,
+    queue_cap,
+)
+from repro.common.rng import SplitMix64
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.detector import IGuard
+from repro.core.sharding import _drain_for, replay_trace_sharded, shard_of
+from repro.engine.replay import capture_workload, replay
+from repro.engine.trace import Trace
+from repro.errors import (
+    RetryExhaustedError,
+    TraceCorruptionError,
+    WorkerCrashError,
+)
+from repro.faults import quarantine
+from repro.faults.ddmin import ddmin
+from repro.faults.fuzz import (
+    CODECS,
+    MAX_STMTS,
+    MIN_STMTS,
+    base_trace_bytes,
+    check_trace_bytes,
+    crash_signature,
+    default_corpus_dir,
+    differential_check,
+    gen_program,
+    load_corpus,
+    mutate_bytes,
+    replay_entry,
+    run_campaign,
+    write_corpus_entry,
+)
+from repro.gpu.arch import GPUConfig, TITAN_RTX
+from repro.gpu.events import AccessKind, MemoryEvent
+from repro.gpu.instructions import AtomicOp
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _clean_quarantine():
+    quarantine.reset()
+    yield
+    quarantine.reset()
+
+
+def _capture_events():
+    workload = get_workload("1dconv")
+    return list(capture_workload(workload, seeds=(1,)))
+
+
+@pytest.fixture(scope="module")
+def captured_events():
+    return _capture_events()
+
+
+def _sites(tool):
+    return {str(ip): str(rt) for ip, rt in sorted(
+        ((str(ip), rt) for ip, rt in tool.races.sites())
+    )}
+
+
+def _leg(run):
+    """One replay leg: (sites, quarantine snapshot) as canonical JSON."""
+    quarantine.reset()
+    tool = run()
+    doc = {"sites": _sites(tool), "quarantine": quarantine.snapshot()}
+    return json.dumps(doc, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Budget knobs
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetKnobs:
+    def test_parse_bytes(self):
+        assert parse_bytes("1024") == 1024
+        assert parse_bytes("4k") == 4096
+        assert parse_bytes("2M") == 2 << 20
+        assert parse_bytes(" 1g ") == 1 << 30
+        assert parse_bytes("0") == 0
+        with pytest.raises(ValueError):
+            parse_bytes("-1")
+
+    def test_mem_budget_env(self, monkeypatch):
+        monkeypatch.delenv("IGUARD_MEM_BUDGET", raising=False)
+        assert mem_budget() is None
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "4k")
+        assert mem_budget() == 4096
+        # 0 and garbage both mean "unbounded", never an abort.
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "0")
+        assert mem_budget() is None
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "banana")
+        assert mem_budget() is None
+
+    def test_queue_cap_env(self, monkeypatch):
+        monkeypatch.delenv("IGUARD_QUEUE_CAP", raising=False)
+        assert queue_cap() == DEFAULT_QUEUE_CAP
+        monkeypatch.setenv("IGUARD_QUEUE_CAP", "128")
+        assert queue_cap() == 128
+        monkeypatch.setenv("IGUARD_QUEUE_CAP", "-3")
+        assert queue_cap() == DEFAULT_QUEUE_CAP
+
+    def test_quarantine_limit_env(self, monkeypatch):
+        monkeypatch.delenv("IGUARD_QUARANTINE", raising=False)
+        assert quarantine_limit() == DEFAULT_QUARANTINE_LIMIT
+        monkeypatch.setenv("IGUARD_QUARANTINE", "0")
+        assert quarantine_limit() == 0
+        monkeypatch.setenv("IGUARD_QUARANTINE", "3")
+        assert quarantine_limit() == 3
+
+
+# ---------------------------------------------------------------------------
+# Quarantine semantics
+# ---------------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def test_absorbs_and_reports(self):
+        quarantine.poison(object(), ValueError("boom"), "replay")
+        assert quarantine.events_absorbed() == 1
+        snap = quarantine.snapshot()
+        assert snap == {"events": 1, "kinds": {"ValueError": 1}}
+        assert quarantine.report_block() == snap
+        assert quarantine.examples()[0]["stage"] == "replay"
+
+    def test_snapshot_is_stage_free(self):
+        # The same poison event surfaces at "replay" in serial mode and
+        # at "drain" in batched mode; the report block must not differ.
+        quarantine.poison(object(), TypeError("t"), "replay")
+        first = quarantine.snapshot()
+        quarantine.reset()
+        quarantine.poison(object(), TypeError("t"), "drain")
+        assert quarantine.snapshot() == first
+
+    def test_clean_report_block_is_none(self):
+        assert quarantine.report_block() is None
+
+    def test_exempt_exceptions_propagate(self):
+        torn = TraceCorruptionError("t.jsonl", 1, 0, "torn")
+        with pytest.raises(TraceCorruptionError):
+            quarantine.poison(None, torn, "core")
+        with pytest.raises(MemoryError):
+            quarantine.poison(None, MemoryError(), "core")
+        assert quarantine.events_absorbed() == 0
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("IGUARD_QUARANTINE", "0")
+        with pytest.raises(ValueError):
+            quarantine.poison(None, ValueError("x"), "replay")
+
+    def test_limit_exhaustion_reraises(self, monkeypatch):
+        monkeypatch.setenv("IGUARD_QUARANTINE", "2")
+        quarantine.poison(None, ValueError("1"), "core")
+        quarantine.poison(None, ValueError("2"), "core")
+        with pytest.raises(ValueError):
+            quarantine.poison(None, ValueError("3"), "core")
+        assert quarantine.events_absorbed() == 2
+
+
+# ---------------------------------------------------------------------------
+# Poison-event byte identity across replay modes
+# ---------------------------------------------------------------------------
+
+
+def _poisoned(events):
+    """Turn one mid-stream access into a poison event.
+
+    A CAS whose ``active_mask`` is None blows up in ``infer_locks``
+    (``len(None)``) — an in-detector crash on one record, exactly the
+    shape quarantine exists for.
+    """
+    poisoned = list(events)
+    mem_positions = [
+        i for i, e in enumerate(poisoned)
+        if isinstance(e, MemoryEvent) and e.active_mask is not None
+    ]
+    target = mem_positions[len(mem_positions) // 2]
+    poisoned[target] = replace(
+        poisoned[target],
+        kind=AccessKind.ATOMIC,
+        atomic_op=AtomicOp.CAS,
+        active_mask=None,
+        compare=0,
+    )
+    return poisoned
+
+
+class TestPoisonByteIdentity:
+    def test_all_modes_agree(self, captured_events):
+        events = _poisoned(captured_events)
+
+        def serial():
+            tool = IGuard(shards=1)
+            replay(events, tools=[tool])
+            return tool
+
+        def inline():
+            tool = IGuard(shards=3)
+            replay(events, tools=[tool])
+            return tool
+
+        def batched():
+            return replay_trace_sharded(events, shards=3).tool
+
+        def routed():
+            # The columnar drain path: routes precomputed before the
+            # drain loop, exactly like Chunk.mem_routes feeds them.
+            gpu = next(
+                (e for e in events if isinstance(e, GPUConfig)), TITAN_RTX
+            )
+            drain = _drain_for(DEFAULT_CONFIG, 3, None, gpu)
+            granule_of = drain.tool.cores[0].table.granule_of
+            routes = iter(
+                [
+                    (granule_of(e.address), shard_of(granule_of(e.address), 3))
+                    for e in events
+                    if isinstance(e, MemoryEvent)
+                ]
+            )
+            drain.feed(events, routes=routes)
+            return drain.result().tool
+
+        legs = {
+            "serial": _leg(serial),
+            "inline": _leg(inline),
+            "batched": _leg(batched),
+            "routed": _leg(routed),
+        }
+        reference = legs["serial"]
+        assert json.loads(reference)["quarantine"]["events"] == 1
+        for name, doc in legs.items():
+            assert doc == reference, name
+
+    def test_poison_only_loses_recall(self, captured_events):
+        # The poisoned run's sites are a subset of the clean run's: a
+        # quarantined event can hide a race, never invent one.
+        clean = json.loads(_leg(lambda: self._replay(captured_events)))
+        poisoned = json.loads(
+            _leg(lambda: self._replay(_poisoned(captured_events)))
+        )
+        assert set(poisoned["sites"].items()) <= set(clean["sites"].items())
+        assert clean["quarantine"]["events"] == 0
+
+    @staticmethod
+    def _replay(events):
+        tool = IGuard(shards=1)
+        replay(events, tools=[tool])
+        return tool
+
+    def test_disabled_quarantine_aborts_every_mode(
+        self, captured_events, monkeypatch
+    ):
+        monkeypatch.setenv("IGUARD_QUARANTINE", "0")
+        events = _poisoned(captured_events)
+        with pytest.raises(TypeError):
+            replay(events, tools=[IGuard(shards=1)])
+        with pytest.raises(TypeError):
+            replay(events, tools=[IGuard(shards=3)])
+        with pytest.raises(TypeError):
+            replay_trace_sharded(events, shards=3)
+
+
+# ---------------------------------------------------------------------------
+# Memory budget: metadata tables and the columnar string pool
+# ---------------------------------------------------------------------------
+
+
+class TestMemBudget:
+    def test_caps_metadata_tables(self, monkeypatch):
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "1k")
+        entry = DEFAULT_CONFIG.metadata_entry_bytes
+        tool = IGuard(shards=1)
+        assert tool.cores[0].table.max_entries == 1024 // entry
+        sharded = IGuard(shards=4)
+        for core in sharded.cores:
+            assert core.table.max_entries == 1024 // entry // 4
+
+    def test_explicit_cap_wins_over_budget(self, monkeypatch):
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "1k")
+        config = replace(DEFAULT_CONFIG, metadata_max_entries=5)
+        tool = IGuard(config=config, shards=1)
+        assert tool.cores[0].table.max_entries == 5
+
+    def test_budgeted_run_loses_only_recall(
+        self, captured_events, monkeypatch
+    ):
+        def run():
+            tool = IGuard(shards=1)
+            replay(captured_events, tools=[tool])
+            return _sites(tool)
+
+        monkeypatch.delenv("IGUARD_MEM_BUDGET", raising=False)
+        full = run()
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "2k")
+        capped = run()
+        assert set(capped.items()) <= set(full.items())
+
+    def test_pool_writer_fifo_eviction(self):
+        from repro.engine.coltrace import _PoolWriter
+
+        pool = _PoolWriter(byte_budget=64)
+        indices = [pool.add(f"kernel-{i}.cu:{i}" * 3) for i in range(32)]
+        assert indices == list(range(32))  # monotonic, never reused
+        assert pool.evictions > 0
+        # A re-encountered evicted string gets a *fresh* index — the
+        # container stays decodable, only the dedup ratio degrades.
+        assert pool.add("kernel-0.cu:0" * 3) == 32
+
+    def test_budgeted_container_roundtrips_bit_exact(
+        self, captured_events, monkeypatch, tmp_path
+    ):
+        from repro.engine.coltrace import read_events, write_columnar
+
+        plain = tmp_path / "plain.ctr"
+        squeezed = tmp_path / "squeezed.ctr"
+        monkeypatch.delenv("IGUARD_MEM_BUDGET", raising=False)
+        with open(plain, "wb") as handle:
+            write_columnar(handle, captured_events)
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "256")
+        with open(squeezed, "wb") as handle:
+            write_columnar(handle, captured_events)
+        monkeypatch.delenv("IGUARD_MEM_BUDGET", raising=False)
+        reference, _ = read_events(str(plain))
+        evicted, _ = read_events(str(squeezed))
+        assert list(map(repr, evicted)) == list(map(repr, reference))
+
+
+# ---------------------------------------------------------------------------
+# Decoder limits
+# ---------------------------------------------------------------------------
+
+
+class TestDecoderLimits:
+    def test_default_line_limit_unbudgeted(self, monkeypatch):
+        from repro.common.budget import line_limit
+
+        monkeypatch.delenv("IGUARD_MEM_BUDGET", raising=False)
+        assert line_limit() == MAX_LINE_BYTES
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "1k")
+        assert line_limit() == 1024
+
+    def test_jsonl_line_over_budget_is_corruption(
+        self, captured_events, monkeypatch, tmp_path
+    ):
+        path = tmp_path / "t.jsonl"
+        trace = Trace(captured_events)
+        trace.save(str(path))
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "64")
+        with pytest.raises(TraceCorruptionError):
+            Trace.load(str(path))
+        # The salvage contract holds even when every line is oversized.
+        salvaged = Trace.load(str(path), salvage=True)
+        assert salvaged.corruption is not None
+
+    def test_columnar_block_over_budget_is_corruption(
+        self, captured_events, monkeypatch, tmp_path
+    ):
+        from repro.engine.coltrace import write_columnar
+
+        path = tmp_path / "t.ctr"
+        with open(path, "wb") as handle:
+            write_columnar(handle, captured_events)
+        monkeypatch.setenv("IGUARD_MEM_BUDGET", "1k")
+        with pytest.raises(TraceCorruptionError):
+            Trace.load(str(path))
+        salvaged = Trace.load(str(path), salvage=True)
+        assert salvaged.corruption is not None
+
+
+# ---------------------------------------------------------------------------
+# Queue cap backpressure
+# ---------------------------------------------------------------------------
+
+
+class TestQueueBackpressure:
+    def test_tiny_cap_is_output_identical(self, captured_events, monkeypatch):
+        monkeypatch.delenv("IGUARD_QUEUE_CAP", raising=False)
+        reference = _leg(
+            lambda: replay_trace_sharded(captured_events, shards=3).tool
+        )
+        monkeypatch.setenv("IGUARD_QUEUE_CAP", "7")
+        capped = _leg(
+            lambda: replay_trace_sharded(captured_events, shards=3).tool
+        )
+        assert capped == reference
+
+    def test_batched_driver_cap_identical(self, captured_events, monkeypatch):
+        from repro.core.sharding import BatchShardedIGuard
+
+        def run():
+            tool = BatchShardedIGuard(shards=3)
+            replay(captured_events, tools=[tool])
+            return tool
+
+        monkeypatch.delenv("IGUARD_QUEUE_CAP", raising=False)
+        reference = _leg(run)
+        monkeypatch.setenv("IGUARD_QUEUE_CAP", "5")
+        assert _leg(run) == reference
+
+
+# ---------------------------------------------------------------------------
+# ddmin
+# ---------------------------------------------------------------------------
+
+
+class TestDdmin:
+    def test_minimizes_to_exact_culprits(self):
+        culprits = {3, 7, 11}
+        result = ddmin(
+            list(range(16)), lambda c: culprits <= set(c)
+        )
+        assert sorted(result) == sorted(culprits)
+
+    def test_single_culprit(self):
+        assert ddmin(list(range(64)), lambda c: 42 in c) == [42]
+
+    def test_preserves_order(self):
+        result = ddmin(list("abcdef"), lambda c: "b" in c and "e" in c)
+        assert result == ["b", "e"]
+
+    def test_budget_exhaustion_still_reproduces(self):
+        tests = {"count": 0}
+
+        def predicate(candidate):
+            tests["count"] += 1
+            return {5, 25, 45} <= set(candidate)
+
+        result = ddmin(list(range(64)), predicate, max_tests=6)
+        assert predicate(result)  # best-so-far, never a non-repro
+
+    def test_trivial_inputs(self):
+        assert ddmin([], lambda c: True) == []
+        assert ddmin([1], lambda c: 1 in c) == [1]
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer units
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzer:
+    def test_gen_program_deterministic_and_jsonable(self):
+        first = gen_program(SplitMix64(99))
+        second = gen_program(SplitMix64(99))
+        assert first == second
+        assert MIN_STMTS <= len(first) <= MAX_STMTS
+        assert json.loads(json.dumps(first)) == first
+
+    def test_differential_check_clean_program(self):
+        assert differential_check(gen_program(SplitMix64(1))) is None
+
+    def test_crash_signature_names_repro_frame(self):
+        try:
+            parse_bytes("-1")
+        except ValueError as exc:
+            assert crash_signature(exc) == "ValueError@budget.py:parse_bytes"
+
+    def test_mutate_bytes_deterministic(self):
+        data = bytes(range(256)) * 4
+        assert mutate_bytes(data, SplitMix64(5)) == mutate_bytes(
+            data, SplitMix64(5)
+        )
+
+    def test_base_containers_pass_oracle(self):
+        containers = base_trace_bytes(SplitMix64(11))
+        assert set(containers) == set(CODECS)
+        for codec, data in containers.items():
+            assert check_trace_bytes(data, codec) is None, codec
+
+    def test_small_campaign_is_clean_and_deterministic(self):
+        kwargs = dict(seed=1, max_inputs=24, budget_s=60.0, minimize=False)
+        first = run_campaign(**kwargs)
+        second = run_campaign(**kwargs)
+        assert first["failures"] == []
+        assert first["inputs"] == 24
+        assert first["programs"] + first["trace_mutations"] == 24
+        drop_timing = lambda d: {
+            k: v
+            for k, v in d.items()
+            if k not in ("elapsed_s", "inputs_per_sec")
+        }
+        assert drop_timing(first) == drop_timing(second)
+
+
+# ---------------------------------------------------------------------------
+# Triage corpus
+# ---------------------------------------------------------------------------
+
+
+class TestCorpus:
+    def test_write_load_replay_roundtrip(self, tmp_path):
+        data = base_trace_bytes(SplitMix64(2))["jsonl"]
+        entry = {
+            "input": "trace",
+            "kind": "crash",
+            "signature": "ValueError@fake.py:decode",
+            "detail": "unit-test entry",
+            "codec": "jsonl",
+            "data_b64": base64.b64encode(data).decode("ascii"),
+            "minimized": True,
+            "found_by_seed": 0,
+        }
+        path = write_corpus_entry(str(tmp_path), entry)
+        loaded = load_corpus(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded[0][0] == path
+        assert replay_entry(loaded[0][1]) is None
+
+    def test_shipped_corpus_replays_clean(self):
+        entries = load_corpus(default_corpus_dir())
+        assert entries, "shipped triage corpus must not be empty"
+        for name, entry in entries:
+            assert replay_entry(entry) is None, name
+
+
+# ---------------------------------------------------------------------------
+# Partial merged reports (suite executor degradation)
+# ---------------------------------------------------------------------------
+
+
+def _crash_on_three(item):
+    if item == 3:
+        os._exit(17)
+    return item * 10
+
+
+class TestPartialReport:
+    def test_supervisor_attaches_partial_results(self):
+        from repro.engine.parallel import parallel_map
+
+        with pytest.raises((RetryExhaustedError, WorkerCrashError)) as info:
+            parallel_map(
+                _crash_on_three,
+                [0, 1, 2, 3],
+                workers=2,
+                max_retries=1,
+                backoff_base=0.01,
+            )
+        exc = info.value
+        assert exc.total_items == 4
+        for position, value in exc.partial_results.items():
+            assert value == position * 10
+
+    def test_runner_degrades_to_partial(self, monkeypatch):
+        from repro.workloads import runner as runner_module
+
+        real_task = runner_module._run_seed_task
+
+        def exploding_map(fn, items, workers, **kwargs):
+            exc = RetryExhaustedError("cell", 3, "injected")
+            # The first cell completed before the executor gave up.
+            exc.partial_results = {0: real_task(items[0])}
+            exc.total_items = len(items)
+            raise exc
+
+        monkeypatch.setattr(runner_module, "parallel_map", exploding_map)
+        result = runner_module.run_workload(
+            get_workload("1dconv"),
+            runner_module.DetectorFactory(IGuard, shards=1),
+            seeds=(1, 2),
+            workers=2,
+        )
+        assert result.status == "partial"
+        assert len(result.failed_cells) == 1
+        assert "injected" in result.failed_cells[0]
+        assert result.races >= 0  # surviving cell still merged
+
+    def test_cli_exit_code_and_report_block(self, monkeypatch, tmp_path):
+        from repro.workloads import runner as runner_module
+
+        real_task = runner_module._run_seed_task
+
+        def exploding_map(fn, items, workers, **kwargs):
+            exc = RetryExhaustedError("cell", 3, "injected")
+            exc.partial_results = {0: real_task(items[0])}
+            exc.total_items = len(items)
+            raise exc
+
+        monkeypatch.setattr(runner_module, "parallel_map", exploding_map)
+        report = tmp_path / "report.json"
+        rc = runner_module.main(
+            [
+                "--workload", "1dconv",
+                "--workers", "2",
+                "--report-json", str(report),
+            ]
+        )
+        assert rc == 3
+        payload = json.loads(report.read_text())
+        assert payload["status"] == "partial"
+        assert payload["failed_cells"]
+
+
+# ---------------------------------------------------------------------------
+# Resume after a mid-run kill with sharding active (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestShardedResumeAfterKill:
+    def test_resume_reproduces_uninterrupted_report(self, tmp_path):
+        from repro.workloads import runner as runner_module
+
+        base = tmp_path / "base.json"
+        rc = runner_module.main(
+            [
+                "--workload", "1dconv",
+                "--shards", "2",
+                "--workers", "2",
+                "--report-json", str(base),
+            ]
+        )
+        assert rc == 0
+
+        journal = tmp_path / "cells.journal"
+        full = tmp_path / "full.json"
+        rc = runner_module.main(
+            [
+                "--workload", "1dconv",
+                "--shards", "2",
+                "--workers", "2",
+                "--checkpoint", str(journal),
+                "--report-json", str(full),
+            ]
+        )
+        assert rc == 0
+        assert full.read_bytes() == base.read_bytes()
+
+        # Simulate a mid-run kill: keep the first journaled cell and a
+        # torn half-written second line, then resume.
+        lines = journal.read_bytes().split(b"\n")
+        assert len([l for l in lines if l]) >= 3
+        journal.write_bytes(lines[0] + b"\n" + lines[1][: len(lines[1]) // 2])
+        resumed = tmp_path / "resumed.json"
+        rc = runner_module.main(
+            [
+                "--workload", "1dconv",
+                "--shards", "2",
+                "--workers", "2",
+                "--checkpoint", str(journal),
+                "--resume",
+                "--report-json", str(resumed),
+            ]
+        )
+        assert rc == 0
+        assert resumed.read_bytes() == base.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Watchdog rule and gzip salvage regressions
+# ---------------------------------------------------------------------------
+
+
+class _SampleStub:
+    counters = {}
+    interval = 1.0
+
+
+class TestWatchdogQuarantineRule:
+    def test_fires_on_absorbed_events(self):
+        from repro.obs.watchdog import Watchdog, WatchdogConfig
+
+        wd = Watchdog(WatchdogConfig())
+        fired = wd.observe(
+            _SampleStub(),
+            [],
+            {"quarantine.events": {"value": 2}},
+            now=100.0,
+        )
+        rules = [f.rule for f in fired]
+        assert "event_quarantine" in rules
+
+    def test_silent_when_clean(self):
+        from repro.obs.watchdog import Watchdog, WatchdogConfig
+
+        wd = Watchdog(WatchdogConfig())
+        fired = wd.observe(_SampleStub(), [], {}, now=100.0)
+        assert [f.rule for f in fired] == []
+
+
+class TestGzipSalvage:
+    def test_truncated_gzip_member_is_corruption(
+        self, captured_events, tmp_path
+    ):
+        plain = tmp_path / "t.jsonl"
+        Trace(captured_events).save(str(plain))
+        payload = gzip.compress(plain.read_bytes(), mtime=0)
+        torn = tmp_path / "torn.jsonl.gz"
+        torn.write_bytes(payload[: len(payload) - 20])
+        with pytest.raises(TraceCorruptionError):
+            Trace.load(str(torn))
+        salvaged = Trace.load(str(torn), salvage=True)
+        assert salvaged.corruption is not None
+
+    def test_flipped_ctr_gz_byte_never_escapes(
+        self, captured_events, tmp_path
+    ):
+        import io
+
+        from repro.engine.coltrace import write_columnar
+
+        buffer = io.BytesIO()
+        write_columnar(buffer, captured_events)
+        data = bytearray(gzip.compress(buffer.getvalue(), mtime=0))
+        data[len(data) // 2] ^= 0x40
+        assert check_trace_bytes(bytes(data), "ctr.gz") is None
