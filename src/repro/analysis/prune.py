@@ -1,0 +1,122 @@
+"""Pruning hints: the static analyzer's contract with the detector.
+
+:func:`compute_prune_hints` turns one live launch into the set of
+instruction sites the analyzer proved race-free.  The detector consults
+the set in ``on_memory``: accesses at a safe site take a record-only
+path (metadata writeback, no Table 2 checks).  Everything about the
+contract is arranged so that enabling it cannot change observable
+output:
+
+- **Cycle charges are untouched.**  The detector intercepts *after*
+  instrumentation, UVM, contention and ``check_per_access`` charges, so
+  the timing breakdown is byte-identical with pruning on or off.
+- **Metadata is still written back.**  A pruned access updates sharing
+  flags, last-accessor/last-writer words and lock-truth exactly as a
+  checked access would (:meth:`~repro.core.engine.IGuardCore.record_memory`),
+  so the *next* (unpruned) access checks against the same state.
+- **Safety is per-site, launch-wide.**  A site is only in the hint set
+  if *every* pairing of its accesses with every other access to the
+  same granule is provably ordered or benign — so skipping its checks
+  skips only checks that provably pass.
+- **Unanalyzable means no hints.**  Extraction failure, mutated
+  streams, replayed launches (no kernel source) all return ``None`` and
+  the detector runs unpruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.analysis.checker import analyze_kernel
+from repro.analysis.lint import extract_cached
+from repro.instrument.nvbit import LaunchInfo
+
+__all__ = ["PruneHints", "compute_prune_hints"]
+
+#: Memoized pairwise-checker results, keyed by the identity of the
+#: (extraction-cached) summary object.  The summary is pinned inside the
+#: entry so its ``id`` cannot be recycled while the entry lives; the
+#: ``is`` check on lookup makes an id collision after eviction harmless.
+#: Each entry records every memory word the analysis probed (the
+#: fence-publication chain rule reads spin-flag words) together with the
+#: values it saw — the cached report is reused only when re-probing
+#: yields the same values, because the checker is a deterministic
+#: function of (summary, probed words).
+_ANALYSIS_CACHE: Dict[int, Tuple[object, Dict[int, Optional[int]], object]] = {}
+
+
+def _analyze_cached(summary, memory_value):
+    """``analyze_kernel`` with probe-validated memoization per summary."""
+    cached = _ANALYSIS_CACHE.get(id(summary))
+    if cached is not None and cached[0] is summary:
+        _pin, probes, report = cached
+        if all(
+            memory_value(address) == value
+            for address, value in probes.items()
+        ):
+            return report
+    probes: Dict[int, Optional[int]] = {}
+
+    def probing(address: int) -> Optional[int]:
+        value = memory_value(address)
+        probes[address] = value
+        return value
+
+    report = analyze_kernel(summary, memory_value=probing)
+    _ANALYSIS_CACHE[id(summary)] = (summary, probes, report)
+    return report
+
+
+@dataclass(frozen=True)
+class PruneHints:
+    """Statically proven facts about one launch, for the detector."""
+
+    kernel_name: str
+    #: Instruction sites whose accesses need no Table 2 checks.
+    safe_sites: FrozenSet[str]
+    #: Total sites the analyzer saw (for the bench's elision fraction).
+    total_sites: int
+
+
+def compute_prune_hints(launch: LaunchInfo) -> Optional[PruneHints]:
+    """Analyze ``launch`` and return its safe-site set, or ``None``.
+
+    ``None`` — rather than an empty set — signals "do not prune at
+    all": the kernel source is unavailable (trace replay), a fault
+    mutator is installed (the executed stream differs from the source),
+    or the analyzer could not extract or fully check the kernel.
+    """
+    if launch.kernel_fn is None:
+        return None
+    device = launch.device
+    if device is None or getattr(device, "mutator", None) is not None:
+        return None
+    try:
+        summary = extract_cached(
+            launch.kernel_fn,
+            launch.grid_dim,
+            launch.block_dim,
+            launch.warp_size,
+            launch.args,
+        )
+        memory = getattr(device, "memory", None)
+
+        def memory_value(address: int) -> Optional[int]:
+            if memory is None:
+                return None
+            try:
+                return memory.host_read(address)
+            except Exception:
+                return None
+
+        report = _analyze_cached(summary, memory_value)
+    except Exception:
+        return None
+    if not report.analyzable or report.truncated:
+        return None
+    return PruneHints(
+        kernel_name=summary.kernel_name,
+        safe_sites=frozenset(report.safe_sites),
+        total_sites=len(report.sites),
+    )

@@ -90,6 +90,16 @@ class IGuardConfig:
     #: races for any of the programs"; setting this above 1 reproduces
     #: that experiment (metadata overhead grows linearly with it).
     accessor_history: int = 1
+    #: Consume the static analyzer's pruning hints: accesses at
+    #: instruction sites :mod:`repro.analysis` proved race-free take a
+    #: record-only path (metadata writeback, no Table 2 checks).  Race
+    #: reports and every simulated cycle charge are byte-identical with
+    #: the flag on; only wall-clock time changes.  Live launches only —
+    #: trace replay carries no kernel source to analyze — and only at the
+    #: paper's default ``accessor_history`` of 1: the history ablation
+    #: re-checks each access against *older* accessor views, whose flag
+    #: state the pairwise static argument does not model.
+    static_prune: bool = False
 
     def __post_init__(self) -> None:
         if self.granularity_bytes not in (4, 8, 16, 32):

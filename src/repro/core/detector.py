@@ -88,6 +88,14 @@ class IGuard(Tool):
 
     name = "iGUARD"
 
+    #: Whether this driver's event path can honor ``config.static_prune``.
+    #: The inline adapter can: every access flows through ``on_memory``,
+    #: where the safe-site set is consulted after all cycle charges.  The
+    #: batched sharded drivers (:mod:`repro.core.sharding`) bypass
+    #: ``on_memory`` entirely and set this False — pruning silently stays
+    #: off there rather than applying inconsistently.
+    static_prune_supported = True
+
     def __init__(
         self,
         config: IGuardConfig = DEFAULT_CONFIG,
@@ -148,6 +156,9 @@ class IGuard(Tool):
         self._contention: Optional[ContentionModel] = None
         self._uvm: Optional[ManagedMetadataSpace] = None
         self._current: Optional[LaunchStats] = None
+        #: Safe-site frozenset from the static analyzer for the current
+        #: launch, or None when pruning is off / unavailable.
+        self._prune_safe = None
         self._coalesce_key: Optional[Tuple[int, int]] = None
         self._probe = None
         #: Per-shard routed-event counts for the current launch (HOT
@@ -210,6 +221,22 @@ class IGuard(Tool):
         self._current = LaunchStats(kernel=launch.kernel_name)
         self.stats.append(self._current)
         self._shard_routed = [0] * self.shards
+
+        # Static check pruning (repro.analysis): compute the safe-site
+        # set for this launch.  Gated on the paper-default accessor
+        # history — deeper histories re-check accesses against *older*
+        # accessor views the pairwise static argument does not model.
+        self._prune_safe = None
+        if (
+            self.config.static_prune
+            and self.static_prune_supported
+            and self.config.accessor_history == 1
+        ):
+            from repro.analysis.prune import compute_prune_hints
+
+            hints = compute_prune_hints(launch)
+            if hints is not None and hints.safe_sites:
+                self._prune_safe = hints.safe_sites
 
         # Fresh synchronization metadata per kernel: counters describe the
         # *running* kernel's threads.  The adapter owns the (shared) sync
@@ -405,6 +432,15 @@ class IGuard(Tool):
         self._shard_routed[shard] += 1
         if HOT.enabled and self.shards > 1:
             HOT.shard_routed.inc()
+        # Static check pruning: a statically-proven-safe site takes the
+        # record-only path — metadata writeback, no Table 2 checks.  The
+        # intercept sits AFTER every cycle charge above, so the timing
+        # breakdown is byte-identical with pruning on or off.
+        if self._prune_safe is not None and event.ip in self._prune_safe:
+            self.cores[shard].record_memory(
+                event, granule, launch, self._current
+            )
+            return
         self._dispatch(shard, event, granule, launch)
 
     def _dispatch(

@@ -49,7 +49,7 @@ from repro.core.report import RaceLog, RaceRecord, RaceType
 from repro.core.syncstate import SyncMetadata
 from repro.faults.quarantine import poison as _poison
 from repro.gpu.events import AccessKind, MemoryEvent, SyncEvent, SyncKind
-from repro.gpu.instructions import AtomicOp, Scope
+from repro.gpu.instructions import AtomicOp, Scope, scope_covers
 from repro.instrument.timing import Category
 from repro.obs.metrics import HOT
 
@@ -92,6 +92,12 @@ class LaunchStats:
     #: same-epoch elision cache instead of re-derived (a subset of
     #: ``accesses_checked``; cycle charges are identical either way).
     accesses_elided: int = 0
+    #: Accesses that took the record-only path because the static
+    #: analyzer proved their instruction site race-free
+    #: (``IGuardConfig.static_prune``).  Disjoint from
+    #: ``accesses_checked``: a pruned access still pays every cycle
+    #: charge and still writes metadata back, but runs no Table 2 checks.
+    accesses_pruned: int = 0
     preliminary_pass: Dict[str, int] = field(default_factory=dict)
     races_reported: int = 0
     contention_cycles: float = 0.0
@@ -618,6 +624,58 @@ class IGuardCore(DetectorCore):
                 entry.accessor_word, entry.writer_word,
             )
 
+    def record_memory(
+        self, event: MemoryEvent, granule: int, launch, stats=None
+    ) -> None:
+        """Metadata bookkeeping for a statically pruned access.
+
+        The pruning contract (``IGuardConfig.static_prune``) lets the
+        adapter skip the Table 2 checks for accesses whose instruction
+        site the static analyzer proved race-free — but it may NOT skip
+        the *writeback*: the 16-byte entry holds only the last accessor
+        and writer, so dropping a pruned access's snapshot would leave a
+        stale earlier access in the entry and change what the next
+        *unpruned* access is checked against (unmasking or masking races
+        and breaking byte-identity of reports).  This method is
+        :meth:`check_memory` minus the checks: sharing-flag update from
+        the last accessor, full writeback, and the HOT lock-truth shadow.
+        The elision cache is left alone — a stale cached signature can
+        only miss afterwards (the entry words changed), never replay a
+        wrong outcome.
+        """
+        where = event.where
+        thread = where.thread_key
+        if stats is not None:
+            stats.accesses_pruned += 1
+        if HOT.enabled:
+            HOT.detector_pruned.inc()
+
+        entry = self.table.lookup_granule(granule)
+        tag = self.table.tag_of_granule(granule)
+        wpb = launch.warps_per_block
+        locks_bloom = self.sync.lock_table_for(
+            where.warp_id, thread
+        ).locks_bloom_int()
+        curr = CurrentAccess(
+            kind=event.kind,
+            warp_id=where.warp_id,
+            lane=where.lane,
+            block_id=where.block_id,
+            active_mask=event.active_mask,
+            locks_bloom=locks_bloom,
+        )
+        if entry.valid:
+            last = entry.last_accessor
+            if last.block_id(wpb) != curr.block_id:
+                entry.set_flag("DevShared", True)
+            elif last.warp_id != curr.warp_id:
+                entry.set_flag("BlkShared", True)
+        self._write_back(entry, tag, curr, event, thread, locks_bloom)
+        if HOT.enabled and event.is_write:
+            self._writer_lock_truth[granule] = frozenset(
+                self.sync.lock_table_for(where.warp_id, thread).held_hashes()
+            )
+
     def _decide_fast_path(self, launch) -> None:
         """End of an "auto" warm-up window: keep or drop the fast path.
 
@@ -799,7 +857,7 @@ class IGuardCore(DetectorCore):
             if event.kind is AccessKind.ATOMIC:
                 entry.set_flag("Atomic", True)
                 entry.set_flag(
-                    "Scope", event.scope.effective is Scope.BLOCK
+                    "Scope", not scope_covers(event.scope, Scope.DEVICE)
                 )
             else:
                 entry.set_flag("Atomic", False)
@@ -964,7 +1022,7 @@ class HBCore(DetectorCore):
             tid = event.where.global_tid
             state = self.sync.thread(tid)
             snapshot = VectorClock({tid: state.vc.get(tid)})
-            if event.scope.effective is Scope.DEVICE:
+            if scope_covers(event.scope, Scope.DEVICE):
                 state.release_dev = snapshot
                 state.release_blk = snapshot
             else:
@@ -1004,7 +1062,7 @@ class HBCore(DetectorCore):
         where = event.where
         state = self.sync.thread(where.global_tid)
         location = self.sync.location(event.address)
-        block_scoped = event.scope.effective is Scope.BLOCK
+        block_scoped = not scope_covers(event.scope, Scope.DEVICE)
         # Acquire: the atomic reads the location, picking up releases.
         if not block_scoped:
             state.vc.join(location.dev)

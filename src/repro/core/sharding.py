@@ -146,6 +146,12 @@ class BatchShardedIGuard(IGuard):
     identical too (front-end charges stay per-event in stream order).
     """
 
+    #: Static pruning stays off here: a pruned access would write its
+    #: metadata back *immediately* while earlier queued checks to the
+    #: same granule are still waiting in the shard queue, reordering
+    #: metadata updates relative to checks.
+    static_prune_supported = False
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._queues: List[list] = [[] for _ in range(self.shards)]
@@ -679,6 +685,10 @@ def replay_columnar_sharded(
 
 class _ShardReplicaIGuard(IGuard):
     """One shard's view of the trace: full sync replica, filtered checks."""
+
+    #: Replicas replay serialized traces — no kernel source to analyze,
+    #: and the parent merge assumes every replica checked its full slice.
+    static_prune_supported = False
 
     def __init__(self, shard_index: int, num_shards: int, config, costs=None):
         super().__init__(config, costs=costs, shards=1)

@@ -28,7 +28,7 @@ from repro.core.metadata import (
     DEV_FENCE_BITS,
     WARP_BAR_BITS,
 )
-from repro.gpu.instructions import Scope
+from repro.gpu.instructions import Scope, scope_covers
 
 ThreadKey = Tuple[int, int]  # (global warp id, lane)
 
@@ -84,7 +84,7 @@ class SyncMetadata:
 
     def on_fence(self, thread: ThreadKey, scope: Scope) -> None:
         """A thread executed a scoped threadfence: bump its counter."""
-        if scope.effective is Scope.DEVICE:
+        if scope_covers(scope, Scope.DEVICE):
             self._dev_fence[thread] = (self.dev_fence(thread) + 1) % (
                 1 << DEV_FENCE_BITS
             )

@@ -33,6 +33,12 @@ end-to-end replay events/sec of the JSONL codec vs the columnar ``.ctr``
 container (``repro.engine.coltrace``), with race-site equality enforced
 across formats.
 
+Static check pruning (``IGuardConfig.static_prune``) gets its own
+off-vs-on measurement: events/sec with and without the static analyzer's
+safe-site hints, the fraction of accesses the hints elide, and a
+per-cell race-site equality check (the pruning contract is byte-identical
+detection output — a divergence exits 3 like any equivalence failure).
+
 CI runs ``--smoke --check <baseline.json>``: a small basket, JSON
 uploaded as an artifact.  Exit codes: 2 — events/sec regressed more
 than 30% against the checked-in smoke baseline; 3 — any equivalence
@@ -693,6 +699,129 @@ def measure_obs_overhead(workloads, repeats: int = 1, seeds_limit: int = 1) -> d
 
 
 # ---------------------------------------------------------------------------
+# Static check pruning: throughput with the analyzer's safe-site hints.
+# ---------------------------------------------------------------------------
+
+
+def _prune_config() -> IGuardConfig:
+    """The default config with static check pruning on.
+
+    Degrades gracefully on checkouts whose ``IGuardConfig`` predates the
+    knob, mirroring :func:`_detector_config`.
+    """
+    try:
+        return replace(DEFAULT_CONFIG, static_prune=True)
+    except TypeError:
+        return DEFAULT_CONFIG
+
+
+def _prune_cell_once(workload, seed: int, config: IGuardConfig):
+    """One timed run of a cell; returns (seconds, events, pruned, sites).
+
+    ``events`` counts checked + coalesced + pruned accesses so both
+    modes report the same totals: pruning reroutes an access onto the
+    record-only path, it never drops one.
+    """
+    device = Device(SIM_GPU)
+    tool = device.add_tool(IGuard(config=config))
+    started = time.perf_counter()
+    try:
+        workload.run(device, seed)
+    except (DeadlockError, TimeoutError_):
+        pass
+    elapsed = time.perf_counter() - started
+    checked = sum(
+        s.accesses_checked + s.accesses_coalesced for s in tool.stats
+    )
+    pruned = sum(getattr(s, "accesses_pruned", 0) for s in tool.stats)
+    sites = sorted((str(ip), str(t)) for ip, t in tool.races.sites())
+    return elapsed, checked + pruned, pruned, sites
+
+
+def measure_static_prune(
+    workloads, repeats: int = 1, seeds_limit: int = 1
+) -> dict:
+    """Measure detection throughput with static check pruning off vs on.
+
+    Runs each (workload, seed) cell under the default config and under
+    ``static_prune=True`` (the static analyzer's safe-site hints route
+    provably race-free instruction sites onto the record-only path,
+    skipping the Table 2 checks).  The two modes run interleaved per
+    cell after one untimed priming run — the same debiasing scheme as
+    :func:`run_modes` — with keep-fastest over ``repeats``.
+
+    Race sites are compared per cell: the pruning contract is
+    byte-identical detection output, so any divergence is reported under
+    ``mismatches`` and fails the bench (exit 3).  ``fraction_pruned`` is
+    the share of on-mode accesses the hints elided.
+    """
+    off_config = DEFAULT_CONFIG
+    on_config = _prune_config()
+    totals = {
+        mode: {"events": 0, "seconds": 0.0, "pruned": 0}
+        for mode in ("off", "on")
+    }
+    mismatches: List[str] = []
+    for workload in workloads:
+        seeds = workload.seeds[:seeds_limit] if seeds_limit else workload.seeds
+        for seed in seeds:
+            # Priming runs for both modes: the off run faults pages and
+            # warms caches like run_modes' priming; the on run also
+            # populates the process-wide extraction cache, so the timed
+            # on-mode measures the steady state (hint lookup), not the
+            # one-time per-kernel analysis cost.
+            _prune_cell_once(workload, seed, off_config)
+            _prune_cell_once(workload, seed, on_config)
+            best: Dict[str, Optional[float]] = {"off": None, "on": None}
+            cell: Dict[str, tuple] = {}
+            for _ in range(max(1, repeats)):
+                for mode, config in (("off", off_config), ("on", on_config)):
+                    elapsed, events, pruned, sites = _prune_cell_once(
+                        workload, seed, config
+                    )
+                    cell[mode] = (events, pruned, sites)
+                    best[mode] = (
+                        elapsed
+                        if best[mode] is None
+                        else min(best[mode], elapsed)
+                    )
+            for mode in ("off", "on"):
+                events, pruned, _sites = cell[mode]
+                totals[mode]["events"] += events
+                totals[mode]["seconds"] += best[mode] or 0.0
+                totals[mode]["pruned"] += pruned
+            if cell["off"][2] != cell["on"][2]:
+                mismatches.append(f"{workload.name}/{seed}")
+    out = {}
+    for mode in ("off", "on"):
+        bucket = totals[mode]
+        out[mode] = {
+            "events": bucket["events"],
+            "seconds": round(bucket["seconds"], 4),
+            "events_per_sec": round(
+                bucket["events"] / bucket["seconds"]
+                if bucket["seconds"]
+                else 0.0,
+                1,
+            ),
+            "accesses_pruned": bucket["pruned"],
+        }
+    off_eps = out["off"]["events_per_sec"]
+    on_eps = out["on"]["events_per_sec"]
+    on_events = out["on"]["events"]
+    return {
+        "off": out["off"],
+        "on": out["on"],
+        "speedup": round(on_eps / off_eps, 2) if off_eps else None,
+        "fraction_pruned": round(
+            out["on"]["accesses_pruned"] / on_events if on_events else 0.0, 4
+        ),
+        "identical_sites": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -754,6 +883,10 @@ def main(argv=None) -> int:
         help="skip the JSONL-vs-columnar trace decode/replay measurement",
     )
     parser.add_argument(
+        "--no-static-prune", action="store_true",
+        help="skip the static check-pruning off-vs-on measurement",
+    )
+    parser.add_argument(
         "--attribution", action="store_true",
         help="run the per-phase sampling profiler and embed its self-time "
              "table under 'attribution' in the results JSON (opt-in so "
@@ -789,7 +922,7 @@ def main(argv=None) -> int:
         parser.error(f"unknown mode(s): {', '.join(unknown)}")
 
     result = {
-        "schema": 2,
+        "schema": 3,
         "harness": "repro.experiments.bench",
         "basket": "table4-racy-smoke" if args.smoke else "table4-racy",
         "workloads": [w.name for w in workloads],
@@ -896,6 +1029,22 @@ def main(argv=None) -> int:
         sites = "identical" if throughput["identical_sites"] else "MISMATCH"
         output(f"trace replay race sites across formats: {sites}")
 
+    if not args.no_static_prune:
+        with obs_profiler.phase("bench:static_prune"):
+            result["static_prune"] = measure_static_prune(
+                workloads, repeats=args.repeats
+            )
+        prune = result["static_prune"]
+        output(
+            "static prune events/sec: "
+            f"off {prune['off']['events_per_sec']:.0f}, "
+            f"on {prune['on']['events_per_sec']:.0f} "
+            f"({prune['speedup']}x, "
+            f"{prune['fraction_pruned']:.1%} of accesses elided)"
+        )
+        sites = "identical" if prune["identical_sites"] else "MISMATCH"
+        output(f"static prune race sites off vs on: {sites}")
+
     if args.embed_baseline:
         with open(args.embed_baseline, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -941,6 +1090,11 @@ def main(argv=None) -> int:
     if not result.get("trace_throughput", {}).get("identical_sites", True):
         logger.error(
             "FORMAT FAILURE: columnar replay changed detection output"
+        )
+        exit_code = 3
+    if not result.get("static_prune", {}).get("identical_sites", True):
+        logger.error(
+            "PRUNING FAILURE: static check pruning changed detection output"
         )
         exit_code = 3
     fast_over_slow = result.get("fast_over_slow")

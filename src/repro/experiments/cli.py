@@ -15,6 +15,9 @@ Two non-experiment subcommands ride the same entry point:
 - ``iguard-experiments fuzz`` / ``iguard-experiments minimize`` — the
   differential fuzz campaign, triage-corpus replay, and ddmin
   re-minimization (:mod:`repro.faults.fuzz`);
+- ``iguard-experiments lint <workload|--all>`` — static race analysis
+  over workload kernels, with fix hints and a JSON report
+  (:mod:`repro.analysis.lint`);
 - the observability flags (``--log-level``, ``--metrics-out``,
   ``--trace-out``) apply to any experiment run.
 """
@@ -59,6 +62,11 @@ def main(argv=None) -> int:
         from repro.faults.fuzz import minimize_main
 
         return minimize_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Static race analysis over workload kernels.
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="iguard-experiments",
@@ -69,9 +77,9 @@ def main(argv=None) -> int:
         nargs="*",
         metavar="NAME",
         help=f"experiments to run (default: all); one of "
-             f"{', '.join(ALL_EXPERIMENTS)}, or the 'explain'/'trace' "
-             f"subcommands (see 'iguard-experiments explain --help' and "
-             f"'iguard-experiments trace --help')",
+             f"{', '.join(ALL_EXPERIMENTS)}, or the 'explain'/'trace'/"
+             f"'fuzz'/'lint' subcommands (see e.g. "
+             f"'iguard-experiments lint --help')",
     )
     parser.add_argument(
         "--workers",

@@ -10,7 +10,12 @@ Two generators, one oracle:
   claims is byte-identical: serial iGUARD, inline-sharded, batched
   sharded, the columnar drain, plus FastTrack serial vs sharded.  Any
   crash, per-input wall-clock blowout, report divergence between modes,
-  or quarantine-snapshot divergence is a failure.
+  or quarantine-snapshot divergence is a failure.  A seventh leg is the
+  **soundness gate** for the static analyzer (:mod:`repro.analysis`):
+  every race the serial iGUARD leg reports must fall inside the
+  analyzer's may-race set — a dynamically caught race at a
+  statically-proven-safe site would mean check pruning can hide real
+  races, so it fails the campaign like any divergence.
 - **Trace mutation**: byte- and line-level corruption of ``.jsonl``,
   ``.jsonl.gz``, ``.ctr`` and ``.ctr.gz`` containers (flips, truncation,
   duplication, junk insertion).  The salvage contract is the oracle:
@@ -276,6 +281,14 @@ def differential_check(
         legs["fasttrack-sharded"] = _leg(
             _replay_tool(lambda: FastTrack(shards=shards))
         )
+        # Soundness gate (seventh leg): lint the same program statically.
+        # Compared against the *iGUARD* leg only — FastTrack's
+        # happens-before model flags atomic-atomic interleavings that
+        # iGUARD's Table 2 (and hence the static mirror) correctly
+        # permits.
+        from repro.analysis.lint import analyze_workload
+
+        static_lint = analyze_workload(workload)
     except Exception as exc:  # noqa: BLE001 — any escape is the finding
         return {
             "kind": "crash",
@@ -309,6 +322,21 @@ def differential_check(
                 f"{legs['fasttrack-sharded']} != {legs['fasttrack-serial']}"
             )[:500],
         }
+    for ip, race_type in reference["sites"].items():
+        if not static_lint.allows_dynamic_site(ip):
+            # The dynamic detector caught a race at a site the static
+            # analyzer proved safe (or never saw): pruning that site
+            # would have hidden a real race.  This is THE bug class the
+            # gate exists to catch — fail the campaign.
+            return {
+                "kind": "soundness",
+                "signature": "soundness@static-analyzer",
+                "detail": (
+                    f"dynamic race [{race_type}] at {ip} falls outside "
+                    f"the static may-race set (static verdict: "
+                    f"{static_lint.verdict})"
+                )[:500],
+            }
     return None
 
 
@@ -592,6 +620,11 @@ def run_campaign(
     stats["inputs_per_sec"] = round(index / elapsed, 2) if elapsed else 0.0
     stats["failures"] = list(seen.values())
     stats["distinct_failures"] = len(seen)
+    # Surfaced separately so CI can assert the static analyzer's
+    # soundness gate stayed green without parsing the failures list.
+    stats["soundness_failures"] = sum(
+        1 for entry in seen.values() if entry["kind"] == "soundness"
+    )
     if write_corpus and seen:
         corpus = corpus_dir or default_corpus_dir()
         for entry in seen.values():

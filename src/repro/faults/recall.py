@@ -37,7 +37,9 @@ from repro.gpu.device import Device
 from repro.workloads.base import SIM_GPU
 
 #: Report schema version (bump on incompatible changes).
-REPORT_SCHEMA = 1
+#: v2: per-record static-analyzer cross-check fields (``static_verdict``,
+#: ``static_types``, ``static_ok``) and ``summary.static_mismatches``.
+REPORT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,21 @@ def _run_recall_cell(cell: _RecallCell) -> dict:
         record["condition"] = spec.condition
         record["expected_type"] = spec.expected_type
         record["detected"] = spec.expected_type in record["types"]
+
+    # Static cross-check (repro.analysis): the same pattern, analyzed
+    # without running the dynamic detector at all.  The MutationSpec's
+    # race-type annotation is the shared ground truth — the dynamic
+    # detector AND the static analyzer must both agree with it, so a
+    # drift in either (or a stale annotation) fails the gate loudly.
+    from repro.analysis.lint import analyze_workload
+
+    lint = analyze_workload(pattern.workload, mutation_spec=spec)
+    record["static_verdict"] = lint.verdict
+    record["static_types"] = lint.race_types
+    if spec is None:
+        record["static_ok"] = lint.verdict == "clean"
+    else:
+        record["static_ok"] = spec.expected_type in lint.race_types
     return record
 
 
@@ -152,10 +169,13 @@ def run_recall(
 
     workloads: Dict[str, dict] = {}
     detected = missed = baseline_false_positives = 0
+    static_mismatches = 0
     for record in records:
         entry = workloads.setdefault(
             record["workload"], {"baseline": None, "mutants": []}
         )
+        if not record.get("static_ok", True):
+            static_mismatches += 1
         if record["mutation"] is None:
             entry["baseline"] = record
             baseline_false_positives += len(record["sites"])
@@ -178,14 +198,20 @@ def run_recall(
             "detected": detected,
             "missed": missed,
             "baseline_false_positives": baseline_false_positives,
+            "static_mismatches": static_mismatches,
         },
     }
 
 
 def report_passed(report: dict) -> bool:
-    """Gate verdict: every mutant detected, every baseline race-free."""
+    """Gate verdict: every mutant detected, every baseline race-free,
+    and the static analyzer agreeing with every annotation."""
     summary = report["summary"]
-    return summary["missed"] == 0 and summary["baseline_false_positives"] == 0
+    return (
+        summary["missed"] == 0
+        and summary["baseline_false_positives"] == 0
+        and summary.get("static_mismatches", 0) == 0
+    )
 
 
 def render(report: dict) -> str:
@@ -196,21 +222,37 @@ def render(report: dict) -> str:
         clean = "race-free" if not baseline["sites"] else (
             f"FALSE POSITIVES: {baseline['sites']}"
         )
-        lines.append(f"{name}: baseline {clean}")
+        static = baseline.get("static_verdict", "?")
+        lines.append(f"{name}: baseline {clean} (static: {static})")
+        if not baseline.get("static_ok", True):
+            lines.append(
+                f"  STATIC MISMATCH: analyzer says {static} "
+                f"({', '.join(baseline.get('static_types', [])) or '-'}) "
+                f"but the baseline is annotated race-free"
+            )
         for record in entry["mutants"]:
             verdict = "detected" if record["detected"] else "MISSED"
             types = ", ".join(record["types"]) or "-"
+            static_types = ", ".join(record.get("static_types", [])) or "-"
             lines.append(
                 f"  {record['mutation']}: {verdict} "
                 f"[{record['condition']} -> expect {record['expected_type']}, "
-                f"got {types}]"
+                f"got {types}; static: {static_types}]"
             )
+            if not record.get("static_ok", True):
+                lines.append(
+                    f"    STATIC MISMATCH: annotation expects "
+                    f"{record['expected_type']}, dynamic detector got "
+                    f"[{types}], static analyzer got [{static_types}] "
+                    f"(verdict {record.get('static_verdict', '?')})"
+                )
     summary = report["summary"]
     lines.append("")
     lines.append(
         f"{summary['detected']}/{summary['mutants']} mutants detected, "
         f"{summary['missed']} missed, "
-        f"{summary['baseline_false_positives']} baseline false positive(s)."
+        f"{summary['baseline_false_positives']} baseline false positive(s), "
+        f"{summary.get('static_mismatches', 0)} static mismatch(es)."
     )
     return "\n".join(lines)
 

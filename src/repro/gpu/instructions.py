@@ -38,7 +38,18 @@ class Scope(enum.IntEnum):
 
     def covers(self, other: "Scope") -> bool:
         """Whether this scope is at least as wide as ``other``."""
-        return self.effective >= other.effective
+        return scope_covers(self, other)
+
+
+def scope_covers(a: Scope, b: Scope) -> bool:
+    """Whether scope ``a`` is at least as wide as scope ``b``.
+
+    The single source of truth for the scope lattice
+    (block < device = system): both the dynamic detector and the static
+    analyzer must agree on what "sufficient scope" means, so neither is
+    allowed its own ad-hoc ``IntEnum`` comparison.
+    """
+    return a.effective >= b.effective
 
 
 class AtomicOp(enum.Enum):

@@ -235,6 +235,7 @@ class _HotMetrics:
         # Detector hot path.
         self.detector_checked = registry.counter("detector.accesses_checked")
         self.detector_elided = registry.counter("detector.accesses_elided")
+        self.detector_pruned = registry.counter("detector.accesses_pruned")
         self.detector_coalesced = registry.counter("detector.accesses_coalesced")
         self.detector_prelim_pass = registry.counter("detector.preliminary_pass")
         self.detector_race_tier = registry.counter("detector.race_checks_run")

@@ -72,16 +72,22 @@ class DetectorFactory:
     attribute so :func:`detector_name` resolves it without instantiating.
     """
 
-    def __init__(self, cls, shards: Optional[int] = None):
+    def __init__(self, cls, shards: Optional[int] = None, config=None):
         self.cls = cls
         self.shards = shards
+        #: Optional detector config (e.g. an ``IGuardConfig`` with
+        #: ``static_prune=True``); frozen dataclasses pickle fine.
+        self.config = config
         self.name = cls.name
 
     def __call__(self, shards: Optional[int] = None) -> Tool:
         shards = shards if shards is not None else self.shards
-        if shards is None:
-            return self.cls()
-        return self.cls(shards=shards)
+        kwargs = {}
+        if shards is not None:
+            kwargs["shards"] = shards
+        if self.config is not None:
+            kwargs["config"] = self.config
+        return self.cls(**kwargs)
 
 
 @dataclass
@@ -514,6 +520,12 @@ def main(argv=None) -> int:
              "to serial for any N",
     )
     parser.add_argument(
+        "--static-prune", action="store_true",
+        help="consume the static analyzer's pruning hints: accesses at "
+             "statically-proven-safe sites skip the Table 2 checks "
+             "(iguard only; reports are byte-identical either way)",
+    )
+    parser.add_argument(
         "--report-json", default=None, metavar="PATH",
         help="write the merged result (status, sites, timing) as "
              "canonical JSON to PATH — sharded and serial runs produce "
@@ -560,8 +572,15 @@ def main(argv=None) -> int:
         "native": None,
     }[args.detector]
     shards = args.shards if args.shards is not None else default_shards()
+    detector_config = None
+    if args.static_prune:
+        if args.detector != "iguard":
+            parser.error("--static-prune only applies to --detector iguard")
+        from dataclasses import replace
+
+        detector_config = replace(DEFAULT_CONFIG, static_prune=True)
     factory: ToolFactory = (
-        DetectorFactory(detector_cls, shards=shards)
+        DetectorFactory(detector_cls, shards=shards, config=detector_config)
         if detector_cls is not None
         else None
     )

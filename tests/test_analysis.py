@@ -1,0 +1,340 @@
+"""The static race analyzer: verdicts, pruning contract, soundness.
+
+Three layers of pinning:
+
+1. **Direction-pinned verdicts** — the four race-free fault patterns
+   must come back ``clean`` and all seven annotated mutants must come
+   back ``racy`` with exactly the annotated Table 2 race type.  These
+   are the same fixtures the dynamic recall gate runs, so the static
+   and dynamic verdicts are pinned to one shared ground truth.
+2. **The pruning contract** — with ``static_prune=True`` the detector
+   must produce byte-identical races, race types, stats and timing
+   breakdowns, while actually eliding checks on the clean patterns.
+3. **The soundness property** — over *generated* fuzz programs, any
+   site the analyzer proves safe must never be the site of a dynamic
+   race report, for any scheduler seed and shard count.  This is the
+   invariant that makes check pruning safe at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_kernel, extract_kernel
+from repro.analysis.extract import ExtractionError, extract_or_unanalyzable
+from repro.analysis.lint import analyze_workload, to_document
+from repro.analysis.prune import compute_prune_hints
+from repro.common.rng import SplitMix64
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.detector import IGuard
+from repro.faults.fuzz import gen_program, program_workload
+from repro.faults.workloads import FAULT_PATTERNS, get_pattern
+from repro.gpu.device import Device
+from repro.gpu.instructions import Scope, load, scope_covers, store
+from repro.workloads.base import SIM_GPU
+
+PRUNE_CONFIG = replace(DEFAULT_CONFIG, static_prune=True)
+
+
+# ---------------------------------------------------------------------------
+# Direction-pinned verdicts: baselines clean, mutants racy with the
+# annotated type
+# ---------------------------------------------------------------------------
+
+
+class TestPatternVerdicts:
+    @pytest.mark.parametrize(
+        "pattern", [p.name for p in FAULT_PATTERNS]
+    )
+    def test_baseline_is_statically_clean(self, pattern):
+        lint = analyze_workload(get_pattern(pattern).workload)
+        assert lint.status == "ok"
+        assert lint.verdict == "clean", (
+            f"{pattern} baseline must lint clean, got {lint.verdict}: "
+            f"{[f.to_json() for l in lint.launches for f in l.report.findings]}"
+        )
+        # Clean means *proven*: every launch fully analyzed, no sites
+        # left in the may-race set.
+        for launch in lint.launches:
+            assert launch.report.analyzable
+            assert not launch.report.may_race_sites
+
+    @pytest.mark.parametrize(
+        "pattern,mutation,expected",
+        [
+            (p.name, spec.name, spec.expected_type)
+            for p in FAULT_PATTERNS
+            for spec in p.mutations
+        ],
+    )
+    def test_mutant_is_statically_racy(self, pattern, mutation, expected):
+        workload = get_pattern(pattern)
+        spec = workload.mutation(mutation)
+        lint = analyze_workload(workload.workload, mutation_spec=spec)
+        assert lint.status == "ok"
+        assert lint.verdict == "racy", (
+            f"{pattern}/{mutation} must lint racy, got {lint.verdict}"
+        )
+        assert expected in lint.race_types, (
+            f"{pattern}/{mutation}: annotated {expected}, "
+            f"static found {lint.race_types}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Extraction edges
+# ---------------------------------------------------------------------------
+
+
+class TestExtraction:
+    def test_value_dependent_control_flow_is_unanalyzable(self):
+        def value_dep(ctx, a):
+            v = yield load(a, 0)
+            if v == 0:
+                yield store(a, 1, 1)
+
+        device = Device(SIM_GPU)
+        a = device.alloc("a", 4)
+        with pytest.raises(ExtractionError):
+            extract_kernel(value_dep, 1, 4, SIM_GPU.warp_size, (a,))
+        summary = extract_or_unanalyzable(
+            value_dep, 1, 4, SIM_GPU.warp_size, (a,)
+        )
+        assert not summary.analyzable
+        assert summary.reason
+
+    def test_unanalyzable_kernel_has_no_safe_sites(self):
+        def value_dep(ctx, a):
+            v = yield load(a, 0)
+            if v == 0:
+                yield store(a, 1, 1)
+
+        device = Device(SIM_GPU)
+        a = device.alloc("a", 4)
+        summary = extract_or_unanalyzable(
+            value_dep, 1, 4, SIM_GPU.warp_size, (a,)
+        )
+        report = analyze_kernel(summary)
+        assert not report.analyzable
+        assert not report.safe_sites
+        # Unanalyzable allows every dynamic site — never blocks one.
+        assert report.allows_dynamic_site("anything:1")
+
+    def test_scope_covers_lattice(self):
+        assert scope_covers(Scope.DEVICE, Scope.BLOCK)
+        assert scope_covers(Scope.SYSTEM, Scope.DEVICE)
+        # SYSTEM and DEVICE collapse on a single-GPU machine.
+        assert scope_covers(Scope.DEVICE, Scope.SYSTEM)
+        assert not scope_covers(Scope.BLOCK, Scope.DEVICE)
+        assert scope_covers(Scope.BLOCK, Scope.BLOCK)
+        # Scope.covers delegates to the shared helper.
+        assert Scope.DEVICE.covers(Scope.BLOCK)
+        assert not Scope.BLOCK.covers(Scope.DEVICE)
+
+
+# ---------------------------------------------------------------------------
+# The pruning contract
+# ---------------------------------------------------------------------------
+
+
+def _run_pattern(pattern_name, config):
+    workload = get_pattern(pattern_name).workload
+    device = Device(SIM_GPU)
+    tool = device.add_tool(IGuard(config=config))
+    workload.run(device, workload.seeds[0])
+    sites = sorted((str(ip), str(t)) for ip, t in tool.races.sites())
+    timing = [
+        (run.kernel_name, run.timing.native_time, run.timing.total_time)
+        for run in device.runs
+    ]
+    pruned = sum(s.accesses_pruned for s in tool.stats)
+    checked = sum(s.accesses_checked for s in tool.stats)
+    return sites, timing, pruned, checked
+
+
+class TestPruningContract:
+    @pytest.mark.parametrize(
+        "pattern", [p.name for p in FAULT_PATTERNS]
+    )
+    def test_reports_identical_and_checks_elided(self, pattern):
+        off = _run_pattern(pattern, DEFAULT_CONFIG)
+        on = _run_pattern(pattern, PRUNE_CONFIG)
+        assert on[0] == off[0], "race sites must be byte-identical"
+        assert on[1] == off[1], "cycle charges must be byte-identical"
+        assert off[2] == 0, "pruning off must never prune"
+        # The baselines are fully proven safe, so pruning-on must elide
+        # every single Table 2 check.
+        assert on[2] > 0 and on[3] == 0, (
+            f"expected all checks elided, got pruned={on[2]} "
+            f"checked={on[3]}"
+        )
+
+    def test_racy_program_reports_survive_pruning(self):
+        # A program with genuine races: pruning may elide provably-safe
+        # sites but must report the identical races.
+        statements = [
+            ["store", 3, 0, 1, 7],   # warp 0 leader writes a[1]
+            ["store", 4, 0, 1, 9],   # warp 1 leader writes a[1]: BR race
+            ["syncthreads", 0, 0, 0, 0],
+            ["store", 0, 1, 2, 5],   # all threads write b[2] post-barrier
+        ]
+        workload = program_workload(statements)
+
+        def run(config):
+            device = Device(SIM_GPU)
+            tool = device.add_tool(IGuard(config=config))
+            workload.run(device, 0)
+            return sorted(
+                (str(ip), str(t)) for ip, t in tool.races.sites()
+            )
+
+        off, on = run(DEFAULT_CONFIG), run(PRUNE_CONFIG)
+        assert off == on
+        assert off, "fixture must actually race"
+
+    def test_no_hints_for_replayed_launches(self):
+        # Replay reconstructs LaunchInfo without kernel_fn; the detector
+        # must run fully unpruned rather than guess.
+        from repro.instrument.nvbit import LaunchInfo
+        from repro.instrument.timing import TimingBreakdown
+
+        launch = LaunchInfo(
+            kernel_name="k", grid_dim=1, block_dim=4, warp_size=4,
+            warps_per_block=1, num_threads=4,
+            timing=TimingBreakdown(parallelism=1.0), device=None,
+        )
+        assert launch.kernel_fn is None
+        assert compute_prune_hints(launch) is None
+
+    def test_no_hints_under_a_mutator(self):
+        # With a fault mutator installed the executed stream differs
+        # from the source: hints must be withheld.
+        from repro.faults.mutators import install
+
+        pattern = get_pattern("ff-pipeline")
+        spec = pattern.mutations[0]
+        device = Device(SIM_GPU)
+        tool = device.add_tool(IGuard(config=PRUNE_CONFIG))
+        install(spec, device)
+        try:
+            pattern.workload.run(device, pattern.workload.seeds[0])
+        except Exception:
+            pass
+        assert sum(s.accesses_pruned for s in tool.stats) == 0
+        # And the injected race is still caught.
+        assert tool.race_count > 0
+
+    def test_history_ablation_disables_pruning(self):
+        config = replace(
+            DEFAULT_CONFIG, static_prune=True, accessor_history=2
+        )
+        workload = get_pattern("ff-pipeline").workload
+        device = Device(SIM_GPU)
+        tool = device.add_tool(IGuard(config=config))
+        workload.run(device, workload.seeds[0])
+        assert sum(s.accesses_pruned for s in tool.stats) == 0
+        assert sum(s.accesses_checked for s in tool.stats) > 0
+
+    def test_batched_sharded_driver_refuses_pruning(self):
+        from repro.core.sharding import BatchShardedIGuard
+
+        assert not BatchShardedIGuard.static_prune_supported
+        workload = get_pattern("ff-pipeline").workload
+        device = Device(SIM_GPU)
+        tool = device.add_tool(
+            BatchShardedIGuard(config=PRUNE_CONFIG, shards=2)
+        )
+        workload.run(device, workload.seeds[0])
+        assert sum(s.accesses_pruned for s in tool.stats) == 0
+
+
+# ---------------------------------------------------------------------------
+# Lint document plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestLintDocument:
+    def test_document_is_deterministic(self):
+        workloads = [get_pattern(p.name).workload for p in FAULT_PATTERNS]
+        first = to_document([analyze_workload(w) for w in workloads])
+        second = to_document([analyze_workload(w) for w in workloads])
+        assert first == second
+        assert first["summary"]["clean"] == len(FAULT_PATTERNS)
+
+    def test_driver_error_degrades_to_error_verdict(self):
+        from repro.workloads.base import Workload
+
+        def _boom(device, seed):
+            raise RuntimeError("driver exploded")
+
+        lint = analyze_workload(
+            Workload(name="boom", suite="t", run=_boom, seeds=(0,),
+                     description="")
+        )
+        assert lint.verdict == "error"
+        assert lint.allows_dynamic_site("any:1")
+
+
+# ---------------------------------------------------------------------------
+# The soundness property over generated programs
+# ---------------------------------------------------------------------------
+
+
+def _dynamic_sites(workload, seed, shards):
+    device = Device(SIM_GPU)
+    tool = device.add_tool(IGuard(shards=shards))
+    workload.run(device, seed)
+    return {str(ip) for ip, _ in tool.races.sites()}
+
+
+class TestSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        program_seed=st.integers(min_value=0, max_value=10_000),
+        scheduler_seed=st.integers(min_value=0, max_value=7),
+        shards=st.sampled_from([1, 4]),
+    )
+    def test_static_safe_sites_never_race_dynamically(
+        self, program_seed, scheduler_seed, shards
+    ):
+        statements = gen_program(SplitMix64(program_seed))
+        workload = program_workload(statements)
+        lint = analyze_workload(workload)
+        safe = lint.static_safe_sites()
+        dynamic = _dynamic_sites(workload, scheduler_seed, shards)
+        colliding = dynamic & safe
+        assert not colliding, (
+            f"program {program_seed} seed {scheduler_seed} "
+            f"shards {shards}: dynamic races at statically-safe sites "
+            f"{sorted(colliding)}\nstatements: {statements}"
+        )
+        # The stronger gate the fuzzer enforces: every dynamic site
+        # must be inside the static may-race set.
+        for ip in dynamic:
+            assert lint.allows_dynamic_site(ip), (
+                f"dynamic race at {ip} outside the static may-race set"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(program_seed=st.integers(min_value=0, max_value=10_000))
+    def test_pruned_run_matches_unpruned(self, program_seed):
+        statements = gen_program(SplitMix64(program_seed))
+        workload = program_workload(statements)
+
+        def run(config):
+            device = Device(SIM_GPU)
+            tool = device.add_tool(IGuard(config=config))
+            workload.run(device, 0)
+            sites = sorted(
+                (str(ip), str(t)) for ip, t in tool.races.sites()
+            )
+            timing = [
+                (r.timing.native_time, r.timing.total_time)
+                for r in device.runs
+            ]
+            return sites, timing
+
+        assert run(DEFAULT_CONFIG) == run(PRUNE_CONFIG)
